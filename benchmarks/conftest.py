@@ -1,0 +1,34 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper figure/table: it times the
+experiment driver with pytest-benchmark and prints the paper-shaped
+rows straight to the terminal (bypassing capture) so that
+
+    pytest benchmarks/ --benchmark-only
+
+shows every reproduced series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables to the real terminal."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with a single round (they are minutes-scale
+    deterministic model evaluations, not microbenchmarks)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

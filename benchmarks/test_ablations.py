@@ -1,0 +1,17 @@
+"""Ablations: PIMnet design choices vs their alternatives."""
+
+from repro.experiments import ablations
+
+from .conftest import run_once
+
+
+def test_ablations(benchmark, report):
+    results = run_once(benchmark, ablations.run)
+    report(ablations.format_table(results))
+    by_name = {r.name: r for r in results}
+    # the hierarchy is the load-bearing choice
+    assert by_name["hierarchical vs flat ring"].benefit > 3
+    # the unidirectional repartition genuinely wins for pure AllReduce
+    assert (
+        by_name["bidirectional 4x16b vs unidirectional 2x32b"].benefit < 1
+    )

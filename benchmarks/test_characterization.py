@@ -1,0 +1,11 @@
+"""Host-link characterization curves (Section III context)."""
+
+from repro.experiments import characterization
+
+from .conftest import run_once
+
+
+def test_characterization(benchmark, report):
+    result = run_once(benchmark, characterization.run)
+    report(characterization.format_table(result))
+    assert result.gather_gbs[-1] > result.gather_gbs[0]

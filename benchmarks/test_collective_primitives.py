@@ -1,0 +1,44 @@
+"""Microbenchmarks: collective latency models across backends/sizes.
+
+Not a paper figure, but the primitive numbers every figure is built
+from; useful for regression-tracking the timing models themselves.
+"""
+
+import numpy as np
+import pytest
+
+from repro import pimnet_sim_system, registry
+from repro.collectives import Collective, CollectiveRequest
+
+
+MACHINE = pimnet_sim_system()
+
+
+@pytest.mark.parametrize("key", ["B", "S", "D", "P"])
+@pytest.mark.parametrize("kib", [8, 32, 128])
+def test_allreduce_model(benchmark, key, kib):
+    backend = registry.create(key, MACHINE)
+    request = CollectiveRequest(
+        Collective.ALL_REDUCE, kib * 1024, dtype=np.dtype(np.int64)
+    )
+    breakdown = benchmark(backend.timing, request)
+    assert breakdown.total_s > 0
+
+
+@pytest.mark.parametrize("key", ["B", "S", "N", "D", "P"])
+def test_alltoall_model(benchmark, key):
+    backend = registry.create(key, MACHINE)
+    request = CollectiveRequest(
+        Collective.ALL_TO_ALL, 32 * 1024, dtype=np.dtype(np.int64)
+    )
+    breakdown = benchmark(backend.timing, request)
+    assert breakdown.total_s > 0
+
+
+def test_schedule_generation(benchmark):
+    """Static-schedule compilation cost for the full 256-DPU scope."""
+    from repro.core import Shape, allreduce_schedule
+
+    shape = Shape(8, 8, 4)
+    sched = benchmark(allreduce_schedule, shape, shape.num_dpus * 8)
+    assert sched.num_transfers > 0

@@ -1,0 +1,39 @@
+"""Extension: communication energy, host path vs PIMnet."""
+
+import numpy as np
+
+from repro.analysis import energy_comparison
+from repro.collectives import Collective, CollectiveRequest
+from repro.experiments.common import ExperimentTable
+
+from .conftest import run_once
+
+
+def _run():
+    rows = []
+    for pattern in (Collective.ALL_REDUCE, Collective.ALL_TO_ALL):
+        est = energy_comparison(
+            CollectiveRequest(pattern, 32 * 1024, dtype=np.dtype(np.int64))
+        )
+        rows.append(
+            (
+                pattern.value,
+                f"{est['B'].total_j * 1e6:.1f}",
+                f"{est['P'].total_j * 1e6:.1f}",
+                f"{est['B'].total_j / est['P'].total_j:.1f}x",
+            )
+        )
+    return rows
+
+
+def test_energy_comparison(benchmark, report):
+    rows = run_once(benchmark, _run)
+    table = ExperimentTable(
+        "Energy (ext.)",
+        "Per-collective energy, 32 KB/DPU at 256 DPUs",
+        ("pattern", "Baseline uJ", "PIMnet uJ", "savings"),
+        tuple(rows),
+        notes="extension beyond the paper: pJ/bit tier model",
+    )
+    report(table.format())
+    assert all(float(r[3][:-1]) > 1 for r in rows)

@@ -1,0 +1,11 @@
+"""Fig 2: roofline models (classic + communication intensity)."""
+
+from repro.experiments import fig02_roofline
+
+from .conftest import run_once
+
+
+def test_fig02_roofline(benchmark, report):
+    result = run_once(benchmark, fig02_roofline.run)
+    report(fig02_roofline.format_table(result))
+    assert 5 <= result.ceiling_ratio() <= 12  # paper: ~8x

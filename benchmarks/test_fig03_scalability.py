@@ -1,0 +1,19 @@
+"""Fig 3: motivation — collective scalability of PIM implementations."""
+
+from repro.collectives import Collective
+from repro.experiments import fig03_motivation
+
+from .conftest import run_once
+
+
+def test_fig03a_allreduce(benchmark, report):
+    result = run_once(benchmark, fig03_motivation.run, Collective.ALL_REDUCE)
+    report(fig03_motivation.format_table(result))
+    rel = result.normalized_throughput()
+    assert rel["P"][-1] > rel["S"][-1] > rel["B"][-1]
+
+
+def test_fig03b_alltoall(benchmark, report):
+    result = run_once(benchmark, fig03_motivation.run, Collective.ALL_TO_ALL)
+    report(fig03_motivation.format_table(result))
+    assert result.normalized_throughput()["P"][-1] > 1

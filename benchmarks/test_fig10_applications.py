@@ -1,0 +1,12 @@
+"""Fig 10: application performance across B/S/N/D/P."""
+
+from repro.experiments import fig10_applications
+
+from .conftest import run_once
+
+
+def test_fig10(benchmark, report):
+    result = run_once(benchmark, fig10_applications.run)
+    report(fig10_applications.format_table(result))
+    best, value = result.max_speedup()
+    assert value > 8  # paper: up to 11.8x

@@ -1,0 +1,11 @@
+"""Fig 11: PIM communication breakdown and comm-only speedups."""
+
+from repro.experiments import fig11_comm_breakdown
+
+from .conftest import run_once
+
+
+def test_fig11(benchmark, report):
+    result = run_once(benchmark, fig11_comm_breakdown.run)
+    report(fig11_comm_breakdown.format_table(result))
+    assert all(e.comm_speedup > 1 for e in result.entries)

@@ -1,0 +1,22 @@
+"""Fig 12: collective scalability normalized to the baseline."""
+
+from repro.collectives import Collective
+from repro.experiments import fig12_collective_scaling
+
+from .conftest import run_once
+
+
+def test_fig12a_allreduce(benchmark, report):
+    result = run_once(
+        benchmark, fig12_collective_scaling.run, Collective.ALL_REDUCE
+    )
+    report(fig12_collective_scaling.format_table(result))
+    assert result.speedups["P"][-1] > 20
+
+
+def test_fig12b_alltoall(benchmark, report):
+    result = run_once(
+        benchmark, fig12_collective_scaling.run, Collective.ALL_TO_ALL
+    )
+    report(fig12_collective_scaling.format_table(result))
+    assert result.speedups["P"][-1] > result.speedups["S"][-1]

@@ -1,0 +1,25 @@
+"""Fig 13: credit-based flow control vs PIM-controlled scheduling.
+
+The cycle-level NoC simulation is the slowest benchmark in the suite;
+it runs a 64-DPU single-rank scope (the tier whose crossbar contention
+the paper analyzes) with modest payloads.
+"""
+
+from repro.experiments import fig13_flow_control
+
+from .conftest import run_once
+
+
+def test_fig13(benchmark, report):
+    result = run_once(
+        benchmark,
+        fig13_flow_control.run,
+        banks=4,
+        chips=4,
+        ranks=1,
+        elements_per_dpu=256,
+    )
+    report(fig13_flow_control.format_table(result))
+    # paper: AR within ~1%; A2A 18.7% reduction under scheduling
+    assert abs(result.reduction_percent("allreduce")) < 15
+    assert result.reduction_percent("alltoall") > 0

@@ -1,0 +1,11 @@
+"""Fig 14: PIMnet AllReduce over channel-bandwidth sweeps."""
+
+from repro.experiments import fig14_bandwidth_sweep
+
+from .conftest import run_once
+
+
+def test_fig14(benchmark, report):
+    result = run_once(benchmark, fig14_bandwidth_sweep.run)
+    report(fig14_bandwidth_sweep.format_table(result))
+    assert result.min_interbank_speedup() >= 2.5  # paper: >= 3x at 0.1 GB/s

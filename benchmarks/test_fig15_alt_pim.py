@@ -1,0 +1,11 @@
+"""Fig 15: PIMnet benefit with alternative PIM compute throughput."""
+
+from repro.experiments import fig15_alt_pim
+
+from .conftest import run_once
+
+
+def test_fig15(benchmark, report):
+    result = run_once(benchmark, fig15_alt_pim.run)
+    report(fig15_alt_pim.format_table(result))
+    assert result.gain("MLP") > 5

@@ -1,0 +1,12 @@
+"""Fig 16: embedding lookup with memory-channel scaling."""
+
+from repro.experiments import fig16_multichannel
+
+from .conftest import run_once
+
+
+def test_fig16(benchmark, report):
+    result = run_once(benchmark, fig16_multichannel.run)
+    report(fig16_multichannel.format_table(result))
+    speedups = result.speedups()
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,11 @@
+"""Fig 17: multi-tenancy bandwidth isolation."""
+
+from repro.experiments import fig17_multitenancy
+
+from .conftest import run_once
+
+
+def test_fig17(benchmark, report):
+    result = run_once(benchmark, fig17_multitenancy.run)
+    report(fig17_multitenancy.format_table(result))
+    assert result.isolation_benefit() > 1.2

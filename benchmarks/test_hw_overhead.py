@@ -1,0 +1,11 @@
+"""Section VI-B: hardware overhead of PIMnet."""
+
+from repro.experiments import hw_overhead
+
+from .conftest import run_once
+
+
+def test_hw_overhead(benchmark, report):
+    result = run_once(benchmark, hw_overhead.run)
+    report(hw_overhead.format_table(result))
+    assert result.router_to_stop_area_ratio > 60

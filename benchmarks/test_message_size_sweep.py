@@ -1,0 +1,17 @@
+"""Supplementary: collective time vs message size across backends."""
+
+from repro.collectives import Collective
+from repro.experiments import message_size_sweep
+
+from .conftest import run_once
+
+
+def test_size_sweep_allreduce(benchmark, report):
+    result = run_once(benchmark, message_size_sweep.run, Collective.ALL_REDUCE)
+    report(message_size_sweep.format_table(result))
+    assert all(s > 1 for s in result.speedup_series()["P"])
+
+
+def test_size_sweep_alltoall(benchmark, report):
+    result = run_once(benchmark, message_size_sweep.run, Collective.ALL_TO_ALL)
+    report(message_size_sweep.format_table(result))

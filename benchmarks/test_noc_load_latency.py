@@ -1,0 +1,11 @@
+"""Supplementary: NoC load-latency curve under credit flow control."""
+
+from repro.experiments import noc_load_latency
+
+from .conftest import run_once
+
+
+def test_noc_load_latency(benchmark, report):
+    result = run_once(benchmark, noc_load_latency.run)
+    report(noc_load_latency.format_table(result))
+    assert result.saturation_visible()

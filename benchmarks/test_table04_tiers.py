@@ -1,0 +1,11 @@
+"""Table IV: PIMnet tier comparison and derived bandwidth figures."""
+
+from repro.experiments import table04_tiers
+
+from .conftest import run_once
+
+
+def test_table04(benchmark, report):
+    result = run_once(benchmark, table04_tiers.run)
+    report(table04_tiers.format_table(result))
+    assert abs(result.rank_aggregate_gbs - 179.2) < 1e-6

@@ -1,0 +1,11 @@
+"""Table V: collective primitives and their PIMnet tier algorithms."""
+
+from repro.experiments import table05_algorithms
+
+from .conftest import run_once
+
+
+def test_table05(benchmark, report):
+    result = run_once(benchmark, table05_algorithms.run)
+    report(table05_algorithms.format_table(result))
+    assert len(result) == 5

@@ -1,0 +1,78 @@
+"""Quickstart: run a PIMnet AllReduce and compare against the baselines.
+
+Usage::
+
+    python examples/quickstart.py
+
+Builds the paper's 256-DPU single-channel system (Table VI), runs a
+32 KB-per-DPU AllReduce functionally through the PIMnet backend, and
+prints the timing comparison against the host-mediated alternatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Collective,
+    CollectiveRequest,
+    pimnet_all_reduce,
+    pimnet_sim_system,
+    registry,
+)
+from repro.config.units import fmt_seconds
+
+
+def main() -> None:
+    machine = pimnet_sim_system()
+    num_dpus = machine.system.banks_per_channel
+    print(
+        f"machine: {num_dpus} DPUs "
+        f"({machine.system.banks_per_chip} banks x "
+        f"{machine.system.chips_per_rank} chips x "
+        f"{machine.system.ranks_per_channel} ranks)"
+    )
+
+    # 1. Functional AllReduce through the PIMnet API (Fig 5(b)).
+    rng = np.random.default_rng(7)
+    elements = 4096  # 32 KB of int64 per DPU
+    buffers = [
+        rng.integers(0, 1000, elements, dtype=np.int64)
+        for _ in range(num_dpus)
+    ]
+    result = pimnet_all_reduce(buffers, machine)
+    expected = np.sum(buffers, axis=0)
+    assert all(np.array_equal(out, expected) for out in result.outputs)
+    print(f"\nPIMnet AllReduce of {elements * 8 // 1024} KB/DPU: "
+          f"{fmt_seconds(result.time_s)}")
+    for name, value in result.breakdown.as_dict().items():
+        if value:
+            print(f"  {name:16s} {fmt_seconds(value)}")
+
+    # 2. The same collective on every comparison backend.
+    request = CollectiveRequest(
+        Collective.ALL_REDUCE, elements * 8, dtype=np.dtype(np.int64)
+    )
+    print("\nbackend comparison (same collective):")
+    times = {}
+    for key in ("B", "S", "MaxBW", "D", "P"):
+        backend = registry.create(key, machine)
+        times[key] = backend.timing(request).total_s
+        print(
+            f"  {backend.name:18s} {fmt_seconds(times[key]):>12s}   "
+            f"({times['B'] / times[key]:5.1f}x vs baseline)"
+        )
+    print(
+        f"\nPIMnet speedup over the baseline PIM: "
+        f"{times['B'] / times['P']:.1f}x"
+    )
+
+    # 3. The Algorithm 1 phase timeline behind the PIMnet number.
+    from repro.core import allreduce_timeline, format_timeline
+
+    print()
+    print(format_timeline(allreduce_timeline(elements * 8, machine)))
+
+
+if __name__ == "__main__":
+    main()

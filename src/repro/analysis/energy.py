@@ -1,0 +1,127 @@
+"""Communication energy model (extension beyond the paper).
+
+The paper reports area/power of the added logic; a natural follow-on
+question is *energy per collective*: host-mediated communication drives
+the full off-DIMM DDR interface twice per byte, while PIMnet moves most
+bytes over short on-chip or intra-DIMM wires.  This module estimates
+per-collective energy per backend from per-tier pJ/bit constants
+(DDR-interface and on-chip figures from public DRAM interface surveys)
+and the byte volumes implied by each backend's data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.host_path import host_path_volumes
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig, pimnet_sim_system
+from ..errors import ReproError
+
+# --- energy constants (pJ per bit moved) ------------------------------------
+#: On-chip bank I/O bus (short wires, no I/O drivers).
+INTER_BANK_PJ_PER_BIT = 0.4
+#: Chip DQ pins to the buffer chip (intra-DIMM I/O).
+INTER_CHIP_PJ_PER_BIT = 4.0
+#: Multi-drop DDR bus between DIMMs.
+INTER_RANK_PJ_PER_BIT = 12.0
+#: Full host round trip: DDR interface + controller + cache hierarchy.
+HOST_PATH_PJ_PER_BIT = 25.0
+#: Host-side reduction compute.
+HOST_COMPUTE_PJ_PER_BYTE = 15.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one collective on one backend, in joules."""
+
+    backend: str
+    pattern: Collective
+    transport_j: float
+    compute_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.transport_j + self.compute_j
+
+
+def _pimnet_energy(
+    machine: MachineConfig, request: CollectiveRequest
+) -> EnergyEstimate:
+    system = machine.system
+    payload = request.payload_bytes
+    b = system.banks_per_chip
+    c = system.chips_per_rank
+    r = system.ranks_per_channel
+    n = system.banks_per_channel
+    pattern = request.pattern
+
+    if pattern in (Collective.ALL_REDUCE, Collective.REDUCE_SCATTER):
+        passes = 2 if pattern is Collective.ALL_REDUCE else 1
+        bank_bytes = passes * (b - 1) / b * payload * n if b > 1 else 0.0
+        chip_bytes = passes * (c - 1) / c * payload * (n // b) * b if c > 1 else 0.0
+        rank_bytes = ((r - 1) + (1 if passes == 2 else 0)) * payload if r > 1 else 0.0
+    elif pattern is Collective.ALL_TO_ALL:
+        bank_bytes = payload * (b - 1) / n * n if b > 1 else 0.0
+        chip_bytes = payload * n * (c - 1) / c / r if c > 1 else 0.0
+        rank_bytes = payload * n * (r - 1) / r if r > 1 else 0.0
+    elif pattern is Collective.BROADCAST:
+        bank_bytes = (b - 1) * payload * c * r if b > 1 else 0.0
+        chip_bytes = (c - 1) * payload if c > 1 else 0.0
+        rank_bytes = c * payload if r > 1 else 0.0
+    else:
+        raise ReproError(f"no PIMnet energy model for {pattern}")
+
+    transport_j = (
+        bank_bytes * 8 * INTER_BANK_PJ_PER_BIT
+        + chip_bytes * 8 * INTER_CHIP_PJ_PER_BIT
+        + rank_bytes * 8 * INTER_RANK_PJ_PER_BIT
+    ) * 1e-12
+    return EnergyEstimate("P", pattern, transport_j, 0.0)
+
+
+def _host_energy(
+    machine: MachineConfig, request: CollectiveRequest, backend: str
+) -> EnergyEstimate:
+    n = machine.system.banks_per_channel
+    volumes = host_path_volumes(request, n)
+    moved = (
+        volumes.up_bytes + volumes.down_bytes + volumes.down_broadcast_bytes
+    )
+    # Broadcast payloads cross the DDR interface once but must still be
+    # delivered into every bank over the chips' internal I/O.
+    internal_delivery = volumes.down_broadcast_bytes * n
+    transport_j = (
+        moved * 8 * HOST_PATH_PJ_PER_BIT
+        + internal_delivery * 8 * INTER_BANK_PJ_PER_BIT
+    ) * 1e-12
+    compute_j = (
+        volumes.host_processed_bytes * HOST_COMPUTE_PJ_PER_BYTE * 1e-12
+    )
+    return EnergyEstimate(backend, request.pattern, transport_j, compute_j)
+
+
+def collective_energy(
+    request: CollectiveRequest,
+    backend: str = "P",
+    machine: MachineConfig | None = None,
+) -> EnergyEstimate:
+    """Estimate one collective's energy on one backend."""
+    machine = machine or pimnet_sim_system()
+    if backend == "P":
+        return _pimnet_energy(machine, request)
+    if backend in ("B", "S", "MaxBW"):
+        return _host_energy(machine, request, backend)
+    raise ReproError(f"no energy model for backend {backend!r}")
+
+
+def energy_comparison(
+    request: CollectiveRequest,
+    machine: MachineConfig | None = None,
+) -> dict[str, EnergyEstimate]:
+    """Host path vs PIMnet energy for one collective."""
+    machine = machine or pimnet_sim_system()
+    return {
+        "B": collective_energy(request, "B", machine),
+        "P": collective_energy(request, "P", machine),
+    }

@@ -1,0 +1,137 @@
+"""Multi-tenancy bandwidth isolation (Fig 17).
+
+Two tenants are spatially mapped onto disjoint rank subsets of one
+channel.  With host-based communication both tenants' collectives share
+the single host link, so each sees (at best) half the bandwidth plus
+serialization; with PIMnet the inter-bank and inter-chip tiers are
+physically private to each tenant's ranks — only the inter-rank bus is
+shared — giving near-complete bandwidth isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..collectives.backend import registry
+from ..config.presets import MachineConfig, pimnet_sim_system
+from ..config.network import HostLinkConfig
+from ..config.system import PimSystemConfig
+from ..errors import ConfigurationError
+from ..workloads.base import ExecutionEngine, Workload
+
+
+@dataclass(frozen=True)
+class TenantResult:
+    """One tenant's execution time in shared vs isolated settings."""
+
+    workload: str
+    backend: str
+    alone_s: float
+    shared_s: float
+
+    @property
+    def interference_slowdown(self) -> float:
+        return self.shared_s / self.alone_s if self.alone_s > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class MultiTenancyResult:
+    """Fig 17: both tenants under both communication substrates."""
+
+    baseline: tuple[TenantResult, TenantResult]
+    pimnet: tuple[TenantResult, TenantResult]
+
+    def isolation_benefit(self) -> float:
+        """Geometric-mean slowdown ratio (baseline over PIMnet)."""
+        b = (
+            self.baseline[0].interference_slowdown
+            * self.baseline[1].interference_slowdown
+        ) ** 0.5
+        p = (
+            self.pimnet[0].interference_slowdown
+            * self.pimnet[1].interference_slowdown
+        ) ** 0.5
+        return b / p
+
+
+def _tenant_machine(machine: MachineConfig, ranks: int) -> MachineConfig:
+    """A tenant's slice: the same machine with only ``ranks`` ranks."""
+    if ranks < 1 or ranks > machine.system.ranks_per_channel:
+        raise ConfigurationError("tenant rank count out of range")
+    return replace(
+        machine,
+        system=replace(machine.system, ranks_per_channel=ranks),
+    )
+
+
+def _with_host_share(machine: MachineConfig, share: float) -> MachineConfig:
+    """Scale every host-link bandwidth by the tenant's fair share."""
+    if not 0 < share <= 1:
+        raise ConfigurationError("bandwidth share must be in (0, 1]")
+    links = machine.host_links
+    return replace(
+        machine,
+        host_links=HostLinkConfig(
+            pim_to_cpu_bytes_per_s=links.pim_to_cpu_bytes_per_s * share,
+            cpu_to_pim_bytes_per_s=links.cpu_to_pim_bytes_per_s * share,
+            cpu_to_pim_broadcast_bytes_per_s=(
+                links.cpu_to_pim_broadcast_bytes_per_s * share
+            ),
+            max_channel_bytes_per_s=links.max_channel_bytes_per_s * share,
+        ),
+    )
+
+
+def _with_bus_share(machine: MachineConfig, share: float) -> MachineConfig:
+    """Scale only the inter-rank bus bandwidth (PIMnet's shared tier)."""
+    if not 0 < share <= 1:
+        raise ConfigurationError("bandwidth share must be in (0, 1]")
+    pimnet = machine.pimnet
+    return replace(
+        machine,
+        pimnet=replace(
+            pimnet,
+            inter_rank=replace(
+                pimnet.inter_rank,
+                bandwidth_per_channel_bytes_per_s=(
+                    pimnet.inter_rank.bandwidth_per_channel_bytes_per_s
+                    * share
+                ),
+            ),
+        ),
+    )
+
+
+def run_multitenancy(
+    tenant_a: Workload,
+    tenant_b: Workload,
+    machine: MachineConfig | None = None,
+) -> MultiTenancyResult:
+    """Fig 17: spatial mapping of two tenants on half a channel each."""
+    machine = machine or pimnet_sim_system()
+    half_ranks = max(1, machine.system.ranks_per_channel // 2)
+
+    results: dict[str, list[TenantResult]] = {"B": [], "P": []}
+    for backend_key in ("B", "P"):
+        for workload in (tenant_a, tenant_b):
+            alone_machine = _tenant_machine(machine, half_ranks)
+            if backend_key == "B":
+                shared_machine = _with_host_share(alone_machine, 0.5)
+            else:
+                shared_machine = _with_bus_share(alone_machine, 0.5)
+            alone = ExecutionEngine(alone_machine, backend_key).run(workload)
+            shared = ExecutionEngine(shared_machine, backend_key).run(
+                workload
+            )
+            results[backend_key].append(
+                TenantResult(
+                    workload=workload.name,
+                    backend=backend_key,
+                    alone_s=alone.total_s,
+                    shared_s=shared.total_s,
+                )
+            )
+    return MultiTenancyResult(
+        baseline=tuple(results["B"]),
+        pimnet=tuple(results["P"]),
+    )

@@ -1,0 +1,186 @@
+"""Roofline models (Fig 2).
+
+Two views of the same machine:
+
+* the **classic roofline** (Fig 2a): attainable throughput versus
+  operational intensity (ops per byte of local DRAM traffic), with a
+  per-implementation communication ceiling showing how host-mediated
+  collectives depress achievable compute;
+* the **communication roofline** (Fig 2b, after Cardwell & Song):
+  attainable throughput versus *communication arithmetic intensity*
+  (ops per byte sent over the network), where each implementation's
+  collective bandwidth sets its slope.
+
+Effective collective bandwidths are derived from the actual backend
+timing models (an asymptotically large AllReduce), so this module stays
+consistent with every other experiment by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.backend import registry
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig, pimnet_sim_system
+from ..dpu.compute import ComputeModel
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (intensity, attainable throughput) sample."""
+
+    intensity: float
+    ops_per_s: float
+
+
+@dataclass(frozen=True)
+class RooflineSeries:
+    """A labeled roofline curve."""
+
+    backend: str
+    points: tuple[RooflinePoint, ...]
+
+    def ceiling(self) -> float:
+        return max(p.ops_per_s for p in self.points)
+
+
+class RooflineModel:
+    """Builds Fig 2's curves for any machine configuration."""
+
+    #: The comparison points of Fig 2, in plot order.
+    BACKENDS = ("B", "MaxBW", "S", "P")
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        num_tasklets: int = 16,
+        probe_payload_bytes: int = 256 * 1024,
+    ) -> None:
+        self.machine = machine or pimnet_sim_system()
+        self.compute_model = ComputeModel(
+            dpu=self.machine.system.dpu,
+            profile=self.machine.compute,
+            num_tasklets=num_tasklets,
+        )
+        self.probe_payload_bytes = probe_payload_bytes
+
+    # -- machine ceilings ----------------------------------------------------------
+    @property
+    def num_dpus(self) -> int:
+        return self.machine.system.banks_per_channel
+
+    def peak_ops_per_s(self) -> float:
+        """Aggregate arithmetic peak across all DPUs of the channel."""
+        return self.num_dpus * self.compute_model.peak_ops_per_s()
+
+    def internal_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate MRAM streaming bandwidth (identical for all impls)."""
+        return (
+            self.num_dpus * self.machine.pimnet.mram_wram_dma_bytes_per_s
+        )
+
+    def collective_bandwidth_bytes_per_s(self, backend_key: str) -> float:
+        """Per-DPU-payload AllReduce rate achieved by one backend.
+
+        Defined as payload / AllReduce-time for a large payload — the
+        asymptotic effective bandwidth each implementation offers a
+        communicating workload.
+        """
+        backend = registry.create(backend_key, self.machine)
+        request = CollectiveRequest(
+            Collective.ALL_REDUCE, self.probe_payload_bytes
+        )
+        time_s = backend.timing(request).total_s
+        if time_s <= 0:
+            raise ReproError(f"backend {backend_key} reported zero time")
+        return self.probe_payload_bytes / time_s
+
+    # -- Fig 2a: classic roofline with communication ceilings -------------------------
+    def classic_attainable(
+        self,
+        operational_intensity: float,
+        backend_key: str,
+        comm_bytes_per_op: float = 0.4,
+    ) -> float:
+        """Attainable ops/s at one operational intensity (Fig 2a).
+
+        ``comm_bytes_per_op`` models the workload's collective traffic
+        per arithmetic operation; the default is the communicating-
+        workload mix at which PIMnet just saturates the compute roof
+        (as drawn in the paper's figure), so the other implementations'
+        ceilings read off directly as fractions of peak.  The ceiling is
+        the min of compute peak, the memory slope, and the
+        implementation's communication ceiling.
+        """
+        if operational_intensity <= 0:
+            raise ReproError("operational intensity must be positive")
+        memory_bound = (
+            operational_intensity * self.internal_bandwidth_bytes_per_s()
+        )
+        comm_ceiling = (
+            self.num_dpus
+            * self.collective_bandwidth_bytes_per_s(backend_key)
+            / comm_bytes_per_op
+        )
+        return min(self.peak_ops_per_s(), memory_bound, comm_ceiling)
+
+    def classic_series(
+        self,
+        backend_key: str,
+        intensities: list[float] | None = None,
+        comm_bytes_per_op: float = 0.4,
+    ) -> RooflineSeries:
+        intensities = intensities or [2.0 ** e for e in range(-4, 11)]
+        return RooflineSeries(
+            backend=backend_key,
+            points=tuple(
+                RooflinePoint(
+                    oi,
+                    self.classic_attainable(oi, backend_key, comm_bytes_per_op),
+                )
+                for oi in intensities
+            ),
+        )
+
+    # -- Fig 2b: communication roofline ------------------------------------------------
+    def comm_attainable(
+        self, comm_intensity: float, backend_key: str
+    ) -> float:
+        """Attainable ops/s at one communication intensity (Fig 2b).
+
+        ``comm_intensity`` is arithmetic operations per byte each DPU
+        sends through a collective; the implementation's collective
+        bandwidth is the slope.
+        """
+        if comm_intensity <= 0:
+            raise ReproError("communication intensity must be positive")
+        slope = (
+            comm_intensity
+            * self.num_dpus
+            * self.collective_bandwidth_bytes_per_s(backend_key)
+        )
+        return min(self.peak_ops_per_s(), slope)
+
+    def comm_series(
+        self,
+        backend_key: str,
+        intensities: list[float] | None = None,
+    ) -> RooflineSeries:
+        intensities = intensities or [2.0 ** e for e in range(-6, 15)]
+        return RooflineSeries(
+            backend=backend_key,
+            points=tuple(
+                RooflinePoint(ci, self.comm_attainable(ci, backend_key))
+                for ci in intensities
+            ),
+        )
+
+    def all_series(self, view: str = "comm") -> list[RooflineSeries]:
+        """All four comparison curves for one view ("classic"/"comm")."""
+        if view == "classic":
+            return [self.classic_series(k) for k in self.BACKENDS]
+        if view == "comm":
+            return [self.comm_series(k) for k in self.BACKENDS]
+        raise ReproError(f"unknown roofline view {view!r}")

@@ -1,0 +1,108 @@
+"""Per-tier bandwidth utilization of static schedules.
+
+Given a schedule and a machine, computes how close each tier's
+transfers come to its theoretical bandwidth during its active phases —
+the quantity that demonstrates PIMnet's bandwidth parallelism (ring
+phases keep every chip's links busy) and locates slack (the bus idles
+during inter-bank phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.network import PimnetNetworkConfig
+from ..core.schedule import CommSchedule, Tier, schedule_timing
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class TierUtilization:
+    """One tier's traffic volume vs capacity during its active time."""
+
+    tier: Tier
+    bytes_moved: float
+    active_time_s: float
+    aggregate_bandwidth_bytes_per_s: float
+
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of aggregate tier bandwidth while active."""
+        if self.active_time_s <= 0:
+            return 0.0
+        achieved = self.bytes_moved / self.active_time_s
+        return min(1.0, achieved / self.aggregate_bandwidth_bytes_per_s)
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    tiers: tuple[TierUtilization, ...]
+
+    def for_tier(self, tier: Tier) -> TierUtilization:
+        for entry in self.tiers:
+            if entry.tier is tier:
+                return entry
+        raise ReproError(f"no utilization entry for {tier}")
+
+
+def _tier_aggregate_bandwidth(
+    tier: Tier, network: PimnetNetworkConfig, shape
+) -> float:
+    if tier is Tier.BANK:
+        # one send channel per bank, all chips in parallel
+        return (
+            network.inter_bank.link_bandwidth_bytes_per_s
+            * shape.banks
+            * shape.chips
+            * shape.ranks
+        )
+    if tier is Tier.CHIP:
+        return (
+            network.inter_chip.link_bandwidth_bytes_per_s
+            * shape.chips
+            * shape.ranks
+        )
+    if tier is Tier.RANK:
+        return network.inter_rank.link_bandwidth_bytes_per_s
+    raise ReproError(f"tier {tier} has no physical bandwidth")
+
+
+def schedule_utilization(
+    schedule: CommSchedule,
+    network: PimnetNetworkConfig | None = None,
+    itemsize: int = 8,
+) -> UtilizationReport:
+    """Bandwidth utilization per tier for one schedule."""
+    network = network or PimnetNetworkConfig()
+    times = schedule_timing(schedule, network, itemsize)
+    volumes: dict[Tier, float] = {t: 0.0 for t in Tier}
+    for phase in schedule.phases:
+        if phase.tier is Tier.LOCAL:
+            continue
+        for step in phase.steps:
+            if phase.tier is Tier.RANK:
+                # broadcast payloads occupy the bus once
+                unique = {
+                    (t.src, t.src_offset, t.length, t.read_output)
+                    for t in step.transfers
+                }
+                volumes[Tier.RANK] += sum(
+                    p[2] * itemsize for p in unique
+                )
+            else:
+                volumes[phase.tier] += sum(
+                    t.length * itemsize for t in step.transfers
+                )
+    entries = []
+    for tier in (Tier.BANK, Tier.CHIP, Tier.RANK):
+        entries.append(
+            TierUtilization(
+                tier=tier,
+                bytes_moved=volumes[tier],
+                active_time_s=times[tier],
+                aggregate_bandwidth_bytes_per_s=_tier_aggregate_bandwidth(
+                    tier, network, schedule.shape
+                ),
+            )
+        )
+    return UtilizationReport(tiers=tuple(entries))

@@ -1,0 +1,133 @@
+"""Command-line interface for the PIMnet reproduction.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro run fig10            # regenerate one figure/table
+    python -m repro run all              # everything (fig13 is slowest)
+    python -m repro info                 # machine/backend summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .collectives.backend import registry
+from .config.presets import pimnet_sim_system
+
+
+#: Experiments whose run() needs the run_both treatment.
+_TWO_PANEL = {"fig03", "fig12"}
+
+
+def _experiment_modules():
+    from .experiments import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    modules = _experiment_modules()
+    print("available experiments:")
+    for key in sorted(modules):
+        doc = (modules[key].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {key:12s} {summary}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    modules = _experiment_modules()
+    keys = sorted(modules) if args.experiment == "all" else [args.experiment]
+    unknown = [k for k in keys if k not in modules]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(try: {', '.join(sorted(modules))})",
+            file=sys.stderr,
+        )
+        return 2
+    for key in keys:
+        module = modules[key]
+        if key in _TWO_PANEL:
+            for result in module.run_both():
+                print(module.format_table(result))
+                print()
+        else:
+            print(module.format_table(module.run()))
+            print()
+    return 0
+
+
+def cmd_verify(_: argparse.Namespace) -> int:
+    from .workloads import all_passed, verify_all
+
+    results = verify_all()
+    for r in results:
+        status = "ok" if r.passed else f"FAIL ({r.detail})"
+        print(f"  {r.workload:6s} {status}")
+    if all_passed(results):
+        print("all workloads verified against single-node references")
+        return 0
+    return 1
+
+
+def cmd_info(_: argparse.Namespace) -> int:
+    machine = pimnet_sim_system()
+    system = machine.system
+    print(f"repro {__version__} — PIMnet (HPCA 2025) reproduction")
+    print(
+        f"default machine: {system.banks_per_channel} DPUs "
+        f"({system.banks_per_chip} banks x {system.chips_per_rank} chips "
+        f"x {system.ranks_per_channel} ranks), "
+        f"{system.dpu.frequency_hz / 1e6:.0f} MHz DPUs"
+    )
+    print(f"backends: {', '.join(registry.keys())}")
+    net = machine.pimnet
+    print(
+        "tiers: "
+        f"inter-bank {net.inter_bank.bandwidth_per_channel_bytes_per_s / 1e9:.2f} GB/s, "
+        f"inter-chip {net.inter_chip.bandwidth_per_channel_bytes_per_s / 1e9:.2f} GB/s, "
+        f"inter-rank {net.inter_rank.bandwidth_per_channel_bytes_per_s / 1e9:.2f} GB/s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the PIMnet (HPCA 2025) evaluation.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate experiments")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id, e.g. fig10")
+    p_run.set_defaults(func=cmd_run)
+
+    p_info = sub.add_parser("info", help="show machine/backend summary")
+    p_info.set_defaults(func=cmd_info)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="check every workload against its single-node reference",
+    )
+    p_verify.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Collective communication: patterns, functional semantics, and backends.
+
+Qualitative comparison (Table I of the paper) of where each backend
+performs inter-PIM communication:
+
+=================  ==========  ===========  ===========  ============
+Backend            inter-bank  inter-chip   inter-rank   collective op
+=================  ==========  ===========  ===========  ============
+Baseline (B)       CPU         CPU          CPU          CPU
+Software(Ideal)(S) CPU         CPU          CPU          CPU
+DIMM-Link (D)      buffer chip buffer chip  ded. link    buffer chip
+NDPBridge (N)      buffer chip buffer chip  CPU          n/a
+PIMnet (P)         memory chip buffer chip  memory bus   PIM bank
+=================  ==========  ===========  ===========  ============
+
+The PIMnet backend itself lives in :mod:`repro.core`.
+"""
+
+from . import dimm_link, host_baseline, ideal_software, ndp_bridge  # noqa: F401
+from .backend import BackendRegistry, CollectiveBackend, registry
+from .dimm_link import DimmLinkBackend
+from .functional import execute
+from .host_baseline import HostBaselineBackend
+from .host_path import HostMediatedBackend, HostPathRates, host_path_volumes
+from .ideal_software import IdealSoftwareBackend, MaxDramBwBackend
+from .ndp_bridge import NdpBridgeBackend
+from .patterns import (
+    Collective,
+    CollectiveRequest,
+    REDUCING_PATTERNS,
+    ReduceOp,
+)
+from .result import CollectiveResult, CommBreakdown, CommStats
+
+__all__ = [
+    "BackendRegistry",
+    "CollectiveBackend",
+    "registry",
+    "DimmLinkBackend",
+    "execute",
+    "HostBaselineBackend",
+    "HostMediatedBackend",
+    "HostPathRates",
+    "host_path_volumes",
+    "IdealSoftwareBackend",
+    "MaxDramBwBackend",
+    "NdpBridgeBackend",
+    "Collective",
+    "CollectiveRequest",
+    "REDUCING_PATTERNS",
+    "ReduceOp",
+    "CollectiveResult",
+    "CommBreakdown",
+    "CommStats",
+]

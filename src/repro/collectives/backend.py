@@ -1,0 +1,140 @@
+"""Abstract collective backend and the backend registry.
+
+A backend pairs the shared functional semantics
+(:mod:`repro.collectives.functional`) with its own timing model.  The
+five comparison points of the paper (B, S, Max-DRAM-BW, D, N) live in
+this package; the PIMnet backend (P) lives with the core contribution in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..config.presets import MachineConfig
+from ..errors import BackendError, CollectiveError
+from . import functional
+from .patterns import Collective, CollectiveRequest
+from .result import CollectiveResult, CommBreakdown
+
+
+class CollectiveBackend(ABC):
+    """Base class: functional execution + backend-specific timing.
+
+    A backend is constructed for one machine; its scope is all DPUs of
+    that machine's (single) channel.  Multi-channel systems compose
+    per-channel collectives at the workload layer.
+    """
+
+    #: Short key used in figures ("B", "S", "D", "N", "P", ...).
+    key: str = "?"
+    #: Human-readable name.
+    name: str = "abstract"
+
+    def __init__(self, machine: MachineConfig) -> None:
+        if machine.system.num_channels != 1:
+            raise BackendError(
+                "collective backends operate on one memory channel; "
+                "use per-channel machines and compose above"
+            )
+        self.machine = machine
+
+    # -- shape shortcuts ---------------------------------------------------------
+    @property
+    def num_dpus(self) -> int:
+        return self.machine.system.banks_per_channel
+
+    @property
+    def banks_per_chip(self) -> int:
+        return self.machine.system.banks_per_chip
+
+    @property
+    def chips_per_rank(self) -> int:
+        return self.machine.system.chips_per_rank
+
+    @property
+    def num_ranks(self) -> int:
+        return self.machine.system.ranks_per_channel
+
+    # -- interface ------------------------------------------------------------------
+    def supports(self, pattern: Collective) -> bool:
+        """Whether this backend can execute ``pattern`` at all."""
+        return True
+
+    @abstractmethod
+    def timing(self, request: CollectiveRequest) -> CommBreakdown:
+        """Time model for one collective; no data movement."""
+
+    def run(
+        self,
+        request: CollectiveRequest,
+        buffers: list[np.ndarray] | None = None,
+    ) -> CollectiveResult:
+        """Execute ``request``: timing always, data movement if buffers given."""
+        if not self.supports(request.pattern):
+            raise BackendError(
+                f"{self.name} does not support {request.pattern.value}"
+            )
+        request.validate_for(self.num_dpus)
+        outputs = None
+        if buffers is not None:
+            if len(buffers) != self.num_dpus:
+                raise CollectiveError(
+                    f"got {len(buffers)} buffers for {self.num_dpus} DPUs"
+                )
+            outputs = functional.execute(request, buffers)
+        return CollectiveResult(
+            breakdown=self.timing(request),
+            outputs=outputs,
+            backend_name=self.name,
+        )
+
+    # -- shared timing helpers ---------------------------------------------------
+    @staticmethod
+    def ring_phase_bytes(num_nodes: int, payload_bytes: float) -> float:
+        """Bytes each node sends in one ring Reduce-Scatter (or AllGather).
+
+        A ring RS over n nodes moves (n-1)/n of the payload per node; a
+        single node moves nothing.
+        """
+        if num_nodes < 1:
+            raise CollectiveError("ring needs >= 1 node")
+        if num_nodes == 1:
+            return 0.0
+        return payload_bytes * (num_nodes - 1) / num_nodes
+
+
+class BackendRegistry:
+    """Name -> factory registry so experiments can enumerate backends."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[MachineConfig], CollectiveBackend]] = {}
+
+    def register(
+        self, key: str, factory: Callable[[MachineConfig], CollectiveBackend]
+    ) -> None:
+        if key in self._factories:
+            raise BackendError(f"backend key {key!r} already registered")
+        self._factories[key] = factory
+
+    def create(self, key: str, machine: MachineConfig) -> CollectiveBackend:
+        if key not in self._factories:
+            raise BackendError(
+                f"unknown backend {key!r}; known: {sorted(self._factories)}"
+            )
+        return self._factories[key](machine)
+
+    def keys(self) -> list[str]:
+        return sorted(self._factories)
+
+    def create_many(
+        self, keys: Iterable[str], machine: MachineConfig
+    ) -> dict[str, CollectiveBackend]:
+        return {key: self.create(key, machine) for key in keys}
+
+
+#: Global registry; populated by backend modules at import time.
+registry = BackendRegistry()

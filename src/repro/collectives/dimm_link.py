@@ -1,0 +1,109 @@
+"""DIMM-Link collective backend (**D** in the paper's figures) [89].
+
+DIMM-Link adds dedicated point-to-point bridges between DIMMs and runs
+collective *operations* on each DIMM's buffer chip.  Following the
+paper's fair-comparison setup we (a) give its inter-rank links the same
+global bandwidth as PIMnet's inter-rank tier and (b) ignore bridge
+overheads.  What DIMM-Link fundamentally lacks is direct *inter-bank*
+communication: every bank's payload must be staged through the rank's
+buffer chip.
+
+Because PIM data is not striped across the chips of a rank (each DPU's
+MRAM lives in one chip), buffer-chip accesses to one bank's buffer only
+use that chip's share of the internal DIMM bus — one-eighth of the
+19.2 GB/s — and the buffer chip processes the collective stream
+sequentially.  The effective local staging bandwidth is therefore
+``bank_to_buffer / chips_per_rank`` (2.4 GB/s by default), which is what
+denies DIMM-Link the bandwidth parallelism PIMnet gets from its per-chip
+rings (Fig 14a).
+"""
+
+from __future__ import annotations
+
+from ..config.units import transfer_time
+from ..errors import BackendError
+from .backend import CollectiveBackend, registry
+from .patterns import Collective, CollectiveRequest
+from .result import CommBreakdown
+
+
+class DimmLinkBackend(CollectiveBackend):
+    """Buffer-chip collectives with dedicated inter-rank links."""
+
+    key = "D"
+    name = "DIMM-Link"
+
+    @property
+    def local_bytes_per_s(self) -> float:
+        """Effective bank<->buffer-chip staging bandwidth (see module doc)."""
+        return self.machine.buffer_chip.chip_dq_bytes_per_s
+
+    @property
+    def link_bytes_per_s(self) -> float:
+        return self.machine.buffer_chip.inter_rank_link_bytes_per_s
+
+    def _local_volumes(self, request: CollectiveRequest) -> tuple[float, float]:
+        """(bytes into buffer chip, bytes out of buffer chip), per rank."""
+        n = self.num_dpus
+        per_rank = self.banks_per_chip * self.chips_per_rank
+        payload = request.payload_bytes
+        pattern = request.pattern
+        if pattern is Collective.ALL_REDUCE:
+            return per_rank * payload, per_rank * payload
+        if pattern is Collective.REDUCE_SCATTER:
+            return per_rank * payload, per_rank * payload / n
+        if pattern is Collective.ALL_GATHER:
+            return per_rank * payload, per_rank * payload * n
+        if pattern is Collective.ALL_TO_ALL:
+            return per_rank * payload, per_rank * payload
+        if pattern is Collective.BROADCAST:
+            return payload, per_rank * payload
+        if pattern is Collective.REDUCE:
+            return per_rank * payload, payload / max(1, self.num_ranks)
+        if pattern is Collective.GATHER:
+            return per_rank * payload, payload * n / max(1, self.num_ranks)
+        raise BackendError(f"unknown pattern {pattern}")  # pragma: no cover
+
+    def _global_time(self, request: CollectiveRequest) -> float:
+        """Inter-rank phase over the dedicated links (ranks in parallel)."""
+        r = self.num_ranks
+        if r == 1:
+            return 0.0
+        payload = request.payload_bytes
+        n = self.num_dpus
+        per_rank = n // r
+        pattern = request.pattern
+        link = self.link_bytes_per_s
+        if pattern is Collective.ALL_REDUCE:
+            # Ring ReduceScatter + AllGather on the rank-reduced payload.
+            per_node = 2 * self.ring_phase_bytes(r, payload)
+            return transfer_time(per_node, link)
+        if pattern is Collective.REDUCE_SCATTER:
+            return transfer_time(self.ring_phase_bytes(r, payload), link)
+        if pattern is Collective.ALL_GATHER:
+            return transfer_time(
+                self.ring_phase_bytes(r, payload * n), link
+            )
+        if pattern is Collective.ALL_TO_ALL:
+            # Paper assumption: same aggregate global bandwidth as PIMnet.
+            crossing = payload * n * (r - 1) / r
+            rearrange = transfer_time(crossing / r, self.local_bytes_per_s)
+            return transfer_time(crossing, link) + rearrange
+        if pattern is Collective.BROADCAST:
+            return transfer_time(payload * (r - 1) / r * r, link)
+        if pattern in (Collective.REDUCE, Collective.GATHER):
+            outbound = payload * per_rank * (r - 1) / r
+            return transfer_time(outbound * r, link)
+        raise BackendError(f"unknown pattern {pattern}")  # pragma: no cover
+
+    def timing(self, request: CollectiveRequest) -> CommBreakdown:
+        into, out_of = self._local_volumes(request)
+        local_s = transfer_time(into + out_of, self.local_bytes_per_s)
+        hops = 2 * self.machine.buffer_chip.hop_latency_s
+        return CommBreakdown(
+            inter_chip_s=local_s,
+            inter_rank_s=self._global_time(request) + hops,
+        )
+
+
+registry.register("D", DimmLinkBackend)

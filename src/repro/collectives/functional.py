@@ -1,0 +1,94 @@
+"""Functional (data-correct) reference semantics for every collective.
+
+All backends — host-mediated, prior-work, and PIMnet — must produce these
+exact outputs; the test suite holds each backend's ``run`` to this
+reference, so timing models can never drift from data semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CollectiveError
+from .patterns import Collective, CollectiveRequest, ReduceOp
+
+
+def _check_inputs(
+    request: CollectiveRequest, buffers: list[np.ndarray]
+) -> list[np.ndarray]:
+    if not buffers:
+        raise CollectiveError("no input buffers")
+    request.validate_for(len(buffers))
+    out = []
+    for i, buf in enumerate(buffers):
+        arr = np.asarray(buf, dtype=request.dtype).ravel()
+        if arr.size != request.num_elements:
+            raise CollectiveError(
+                f"buffer {i} has {arr.size} elements, expected "
+                f"{request.num_elements}"
+            )
+        out.append(arr)
+    return out
+
+
+def _reduce_all(arrays: list[np.ndarray], op: ReduceOp) -> np.ndarray:
+    total = arrays[0].copy()
+    for arr in arrays[1:]:
+        total = op.apply(total, arr)
+    return total
+
+
+def execute(
+    request: CollectiveRequest, buffers: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Execute ``request`` over per-DPU ``buffers``; returns per-DPU outputs.
+
+    Outputs follow the size conventions documented on
+    :class:`~repro.collectives.patterns.CollectiveRequest`.  Non-root
+    outputs of rooted collectives (REDUCE, GATHER) are empty arrays.
+    """
+    arrays = _check_inputs(request, buffers)
+    n = len(arrays)
+    pattern = request.pattern
+
+    if pattern is Collective.ALL_REDUCE:
+        total = _reduce_all(arrays, request.op)
+        return [total.copy() for _ in range(n)]
+
+    if pattern is Collective.REDUCE_SCATTER:
+        total = _reduce_all(arrays, request.op)
+        shards = np.split(total, n)
+        return [shard.copy() for shard in shards]
+
+    if pattern is Collective.ALL_GATHER:
+        gathered = np.concatenate(arrays)
+        return [gathered.copy() for _ in range(n)]
+
+    if pattern is Collective.ALL_TO_ALL:
+        chunked = [np.split(arr, n) for arr in arrays]
+        return [
+            np.concatenate([chunked[src][dst] for src in range(n)])
+            for dst in range(n)
+        ]
+
+    if pattern is Collective.BROADCAST:
+        root_data = arrays[request.root]
+        return [root_data.copy() for _ in range(n)]
+
+    if pattern is Collective.REDUCE:
+        total = _reduce_all(arrays, request.op)
+        empty = np.empty(0, dtype=request.dtype)
+        return [
+            total.copy() if i == request.root else empty.copy()
+            for i in range(n)
+        ]
+
+    if pattern is Collective.GATHER:
+        gathered = np.concatenate(arrays)
+        empty = np.empty(0, dtype=request.dtype)
+        return [
+            gathered.copy() if i == request.root else empty.copy()
+            for i in range(n)
+        ]
+
+    raise CollectiveError(f"unknown pattern {pattern}")  # pragma: no cover

@@ -1,0 +1,113 @@
+"""Shared timing model for host-mediated collectives.
+
+Baseline PIM (B), Software(Ideal) (S), and Max-DRAM-BW all move data the
+same way — PIM banks -> host over the shared DDR channel, optional host
+combine, host -> PIM banks — and differ only in effective bandwidths and
+whether host overheads are charged.  This module implements that data
+path once, parameterized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.units import transfer_time
+from ..errors import BackendError
+from .backend import CollectiveBackend
+from .patterns import Collective, CollectiveRequest
+from .result import CommBreakdown
+
+
+@dataclass(frozen=True)
+class HostPathRates:
+    """Effective host-path bandwidths and overhead switches."""
+
+    gather_bytes_per_s: float
+    scatter_bytes_per_s: float
+    broadcast_bytes_per_s: float
+    charge_host_overheads: bool
+    charge_host_compute: bool
+
+    def __post_init__(self) -> None:
+        for name in (
+            "gather_bytes_per_s",
+            "scatter_bytes_per_s",
+            "broadcast_bytes_per_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise BackendError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class HostPathVolumes:
+    """Byte volumes of one host-mediated collective."""
+
+    up_bytes: float          # PIM -> CPU
+    down_bytes: float        # CPU -> PIM (distinct data per DPU)
+    down_broadcast_bytes: float  # CPU -> PIM (same data to all DPUs)
+    host_processed_bytes: float  # reduced / rearranged on the host
+    num_transfers: int       # bulk transfer API calls
+
+
+def host_path_volumes(
+    request: CollectiveRequest, num_dpus: int
+) -> HostPathVolumes:
+    """Data volumes for executing ``request`` through the host.
+
+    This is the SimplePIM-style implementation of Fig 5(a): gather the
+    inputs, combine on the host, push the results back.
+    """
+    n = num_dpus
+    total = request.payload_bytes * n
+    pattern = request.pattern
+    if pattern is Collective.ALL_REDUCE:
+        return HostPathVolumes(total, 0.0, request.payload_bytes, total, 2)
+    if pattern is Collective.REDUCE_SCATTER:
+        return HostPathVolumes(total, request.payload_bytes, 0.0, total, 2)
+    if pattern is Collective.ALL_GATHER:
+        return HostPathVolumes(total, 0.0, total, 0.0, 2)
+    if pattern is Collective.ALL_TO_ALL:
+        return HostPathVolumes(total, total, 0.0, total, 2)
+    if pattern is Collective.BROADCAST:
+        return HostPathVolumes(
+            request.payload_bytes, 0.0, request.payload_bytes, 0.0, 2
+        )
+    if pattern is Collective.REDUCE:
+        return HostPathVolumes(total, request.payload_bytes, 0.0, total, 2)
+    if pattern is Collective.GATHER:
+        return HostPathVolumes(total, total, 0.0, 0.0, 2)
+    raise BackendError(f"unknown pattern {pattern}")  # pragma: no cover
+
+
+class HostMediatedBackend(CollectiveBackend):
+    """Collectives executed by round-tripping through the host CPU."""
+
+    def _rates(self) -> HostPathRates:
+        raise NotImplementedError
+
+    def timing(self, request: CollectiveRequest) -> CommBreakdown:
+        rates = self._rates()
+        volumes = host_path_volumes(request, self.num_dpus)
+        host = self.machine.host
+
+        transfer_s = (
+            transfer_time(volumes.up_bytes, rates.gather_bytes_per_s)
+            + transfer_time(volumes.down_bytes, rates.scatter_bytes_per_s)
+            + transfer_time(
+                volumes.down_broadcast_bytes, rates.broadcast_bytes_per_s
+            )
+        )
+        compute_s = 0.0
+        if rates.charge_host_overheads:
+            transfer_s += volumes.num_transfers * (
+                host.transfer_setup_overhead_s
+                + self.num_ranks * host.per_rank_transfer_overhead_s
+            )
+            transfer_s += host.kernel_launch_overhead_s
+        if rates.charge_host_compute:
+            compute_s = transfer_time(
+                volumes.host_processed_bytes, host.reduce_bandwidth_bytes_per_s
+            )
+        return CommBreakdown(
+            host_transfer_s=transfer_s, host_compute_s=compute_s
+        )

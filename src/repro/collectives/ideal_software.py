@@ -1,0 +1,55 @@
+"""Software(Ideal) collective backend (**S** in the paper's figures).
+
+An idealized PID-Comm [67]: only the raw PIM<->host channel transfers are
+modeled — full measured link bandwidths, zero host compute time, zero
+API/setup overheads.  This is the upper bound of any *software* approach,
+since data still physically crosses the shared memory channel twice.
+"""
+
+from __future__ import annotations
+
+from .backend import registry
+from .host_path import HostMediatedBackend, HostPathRates
+
+
+class IdealSoftwareBackend(HostMediatedBackend):
+    """Host-path collectives with every host overhead removed."""
+
+    key = "S"
+    name = "Software (Ideal)"
+
+    def _rates(self) -> HostPathRates:
+        links = self.machine.host_links
+        return HostPathRates(
+            gather_bytes_per_s=links.pim_to_cpu_bytes_per_s,
+            scatter_bytes_per_s=links.cpu_to_pim_bytes_per_s,
+            broadcast_bytes_per_s=links.cpu_to_pim_broadcast_bytes_per_s,
+            charge_host_overheads=False,
+            charge_host_compute=False,
+        )
+
+
+class MaxDramBwBackend(HostMediatedBackend):
+    """Hypothetical host path at the full DRAM channel bandwidth.
+
+    The "Max DRAM BW" roofline comparison point (Fig 2): assumes the
+    19.2 GB/s DDR4 channel rate is fully usable in both directions for
+    collective traffic, with no host overheads.
+    """
+
+    key = "MaxBW"
+    name = "Max DRAM BW"
+
+    def _rates(self) -> HostPathRates:
+        links = self.machine.host_links
+        return HostPathRates(
+            gather_bytes_per_s=links.max_channel_bytes_per_s,
+            scatter_bytes_per_s=links.max_channel_bytes_per_s,
+            broadcast_bytes_per_s=links.max_channel_bytes_per_s,
+            charge_host_overheads=False,
+            charge_host_compute=False,
+        )
+
+
+registry.register("S", IdealSoftwareBackend)
+registry.register("MaxBW", MaxDramBwBackend)

@@ -1,0 +1,99 @@
+"""NDPBridge collective backend (**N** in the paper's figures) [85].
+
+NDPBridge adds hardware message-passing bridges across the DRAM
+hierarchy (bank group -> chip -> buffer chip), so *intra-rank* messages
+avoid the host.  Two structural limits versus PIMnet (Table I):
+
+* inter-rank traffic still crosses the host CPU (no rank-to-rank path);
+* bridges move messages but perform no collective *operations*, so
+  reducing collectives (AllReduce / Reduce-Scatter / Reduce) are
+  unsupported — the paper compares N only on All-to-All workloads.
+"""
+
+from __future__ import annotations
+
+from ..config.units import transfer_time
+from ..errors import BackendError
+from .backend import CollectiveBackend, registry
+from .patterns import Collective, CollectiveRequest, REDUCING_PATTERNS
+from .result import CommBreakdown
+
+
+class NdpBridgeBackend(CollectiveBackend):
+    """Bridge-based intra-rank transfers; host-mediated inter-rank."""
+
+    key = "N"
+    name = "NDPBridge"
+
+    def supports(self, pattern: Collective) -> bool:
+        return pattern not in REDUCING_PATTERNS
+
+    @property
+    def local_bytes_per_s(self) -> float:
+        """Bridge staging bandwidth (same physical path as DIMM-Link)."""
+        return self.machine.buffer_chip.chip_dq_bytes_per_s
+
+    def timing(self, request: CollectiveRequest) -> CommBreakdown:
+        if not self.supports(request.pattern):
+            raise BackendError(
+                f"{self.name} has no reduction support; cannot run "
+                f"{request.pattern.value}"
+            )
+        n = self.num_dpus
+        r = self.num_ranks
+        per_rank = n // r
+        payload = request.payload_bytes
+        links = self.machine.host_links
+        pattern = request.pattern
+
+        if pattern is Collective.ALL_TO_ALL:
+            # Intra-rank portion moves through the rank's bridges; the
+            # rank-crossing portion is relayed by the host at measured
+            # link bandwidth (bridges present it contiguously, so no
+            # transposition penalty, but the bus is crossed twice).
+            local_fraction = (per_rank - 1) / max(1, n - 1) if n > 1 else 0.0
+            local_bytes = per_rank * payload * local_fraction
+            crossing = n * payload * (r - 1) / r
+            local_s = transfer_time(2 * local_bytes, self.local_bytes_per_s)
+            host_s = transfer_time(
+                crossing, links.pim_to_cpu_bytes_per_s
+            ) + transfer_time(crossing, links.cpu_to_pim_bytes_per_s)
+            return CommBreakdown(inter_chip_s=local_s, host_transfer_s=host_s)
+
+        if pattern is Collective.ALL_GATHER:
+            local_s = transfer_time(
+                2 * per_rank * payload, self.local_bytes_per_s
+            )
+            crossing = per_rank * payload * (r - 1) / r * r
+            host_s = transfer_time(
+                crossing, links.pim_to_cpu_bytes_per_s
+            ) + transfer_time(
+                payload * n, links.cpu_to_pim_broadcast_bytes_per_s
+            )
+            redeliver_s = transfer_time(
+                per_rank * payload * n, self.local_bytes_per_s
+            )
+            return CommBreakdown(
+                inter_chip_s=local_s + redeliver_s, host_transfer_s=host_s
+            )
+
+        if pattern is Collective.BROADCAST:
+            host_s = transfer_time(
+                payload, links.pim_to_cpu_bytes_per_s
+            ) + transfer_time(payload, links.cpu_to_pim_broadcast_bytes_per_s)
+            local_s = transfer_time(
+                per_rank * payload, self.local_bytes_per_s
+            )
+            return CommBreakdown(inter_chip_s=local_s, host_transfer_s=host_s)
+
+        if pattern is Collective.GATHER:
+            local_s = transfer_time(per_rank * payload, self.local_bytes_per_s)
+            host_s = transfer_time(n * payload, links.pim_to_cpu_bytes_per_s)
+            return CommBreakdown(inter_chip_s=local_s, host_transfer_s=host_s)
+
+        raise BackendError(  # pragma: no cover - supports() guards this
+            f"unsupported pattern {pattern}"
+        )
+
+
+registry.register("N", NdpBridgeBackend)

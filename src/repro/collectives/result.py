@@ -1,0 +1,90 @@
+"""Result types shared by all collective backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from ..errors import CollectiveError
+
+
+@dataclass(frozen=True)
+class CommBreakdown:
+    """Where the communication time of one collective went.
+
+    The component names follow Fig 11 of the paper: the three PIMnet
+    tiers, host-path transfer and compute time (for host-mediated
+    backends), READY/START synchronization, and MRAM<->WRAM staging
+    ("Mem").
+    """
+
+    inter_bank_s: float = 0.0
+    inter_chip_s: float = 0.0
+    inter_rank_s: float = 0.0
+    host_transfer_s: float = 0.0
+    host_compute_s: float = 0.0
+    sync_s: float = 0.0
+    mem_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise CollectiveError(f"negative time component {f.name}")
+
+    @property
+    def total_s(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def __add__(self, other: "CommBreakdown") -> "CommBreakdown":
+        return CommBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "CommBreakdown":
+        """All components multiplied by ``factor`` (e.g. iteration counts)."""
+        if factor < 0:
+            raise CollectiveError("scale factor must be >= 0")
+        return CommBreakdown(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Timing plus (optionally) the functional outputs of one collective."""
+
+    breakdown: CommBreakdown
+    outputs: list[np.ndarray] | None = None
+    backend_name: str = ""
+
+    @property
+    def time_s(self) -> float:
+        return self.breakdown.total_s
+
+
+@dataclass
+class CommStats:
+    """Accumulates breakdowns across the collectives of a whole run."""
+
+    breakdown: CommBreakdown = field(default_factory=CommBreakdown)
+    num_collectives: int = 0
+
+    def add(self, result: CollectiveResult | CommBreakdown) -> None:
+        piece = (
+            result.breakdown
+            if isinstance(result, CollectiveResult)
+            else result
+        )
+        self.breakdown = self.breakdown + piece
+        self.num_collectives += 1
+
+    @property
+    def total_s(self) -> float:
+        return self.breakdown.total_s

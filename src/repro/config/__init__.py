@@ -1,0 +1,54 @@
+"""Configuration layer: units, machine shape, network tiers, compute profiles.
+
+The defaults throughout this package reproduce the paper's evaluated
+system (Tables II, IV, and VI); experiments construct variations through
+the dataclasses' ``replace``-style helpers rather than by mutation.
+"""
+
+from . import units
+from .compute import (
+    ALT_PIM_PROFILES,
+    ComputeProfile,
+    Op,
+    UPMEM_OP_COSTS,
+    gddr6_aim_profile,
+    hbm_pim_profile,
+    next_gen_dpu_profile,
+    upmem_profile,
+)
+from .network import (
+    BufferChipConfig,
+    HostLinkConfig,
+    PimnetNetworkConfig,
+    TierLinkConfig,
+)
+from .presets import (
+    MachineConfig,
+    pimnet_sim_system,
+    small_test_system,
+    upmem_server,
+)
+from .system import DpuConfig, HostConfig, PimSystemConfig
+
+__all__ = [
+    "units",
+    "ALT_PIM_PROFILES",
+    "ComputeProfile",
+    "Op",
+    "UPMEM_OP_COSTS",
+    "gddr6_aim_profile",
+    "hbm_pim_profile",
+    "next_gen_dpu_profile",
+    "upmem_profile",
+    "BufferChipConfig",
+    "HostLinkConfig",
+    "PimnetNetworkConfig",
+    "TierLinkConfig",
+    "MachineConfig",
+    "pimnet_sim_system",
+    "small_test_system",
+    "upmem_server",
+    "DpuConfig",
+    "HostConfig",
+    "PimSystemConfig",
+]

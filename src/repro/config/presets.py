@@ -1,0 +1,69 @@
+"""Named system presets matching the paper's configuration tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .compute import ComputeProfile, upmem_profile
+from .network import BufferChipConfig, HostLinkConfig, PimnetNetworkConfig
+from .system import HostConfig, PimSystemConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to instantiate a simulated PIM machine."""
+
+    system: PimSystemConfig = field(default_factory=PimSystemConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    host_links: HostLinkConfig = field(default_factory=HostLinkConfig)
+    pimnet: PimnetNetworkConfig = field(default_factory=PimnetNetworkConfig)
+    buffer_chip: BufferChipConfig = field(default_factory=BufferChipConfig)
+    compute: ComputeProfile = field(default_factory=upmem_profile)
+
+
+def pimnet_sim_system(num_channels: int = 1) -> MachineConfig:
+    """The simulated system of Table VI.
+
+    DDR4-2400, 4 ranks per channel, 64 DPUs per rank (8 banks x 8 chips),
+    350 MHz DPUs with 24 KB IRAM / 64 KB WRAM, measured UPMEM host-link
+    bandwidths, and a 19.2 GB/s buffer-chip link for prior-work baselines.
+    """
+    return MachineConfig(
+        system=PimSystemConfig(
+            banks_per_chip=8,
+            chips_per_rank=8,
+            ranks_per_channel=4,
+            num_channels=num_channels,
+        )
+    )
+
+
+def upmem_server() -> MachineConfig:
+    """The real UPMEM server of Table II (characterization platform).
+
+    20 PIM DIMMs = 20 ranks of 128 DPUs... the production server exposes
+    2560 DPUs across 10 channels (2 ranks per channel, 8 chips per rank,
+    16 banks per chip-pair); we model it as 10 channels x 2 ranks x 8 chips
+    x 16 banks = 2560 DPUs, which preserves both the total DPU count and
+    the per-channel bandwidth constraints that drive scalability.
+    """
+    return MachineConfig(
+        system=PimSystemConfig(
+            banks_per_chip=16,
+            chips_per_rank=8,
+            ranks_per_channel=2,
+            num_channels=10,
+        )
+    )
+
+
+def small_test_system() -> MachineConfig:
+    """A tiny 2x2x2 (8-DPU) machine for fast unit tests."""
+    return MachineConfig(
+        system=PimSystemConfig(
+            banks_per_chip=2,
+            chips_per_rank=2,
+            ranks_per_channel=2,
+            num_channels=1,
+        )
+    )

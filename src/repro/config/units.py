@@ -1,0 +1,86 @@
+"""Unit constants and conversion helpers.
+
+The library uses SI base units everywhere: **bytes** for data sizes,
+**seconds** for time, **bytes/second** for bandwidth, and **hertz** for
+clock frequencies.  DRAM-marketing units (KiB vs KB) are a classic source
+of silent 2.4% errors, so all conversions go through this module.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (binary, as used for memory capacities) -------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# --- data sizes (decimal, as used for link bandwidths) --------------------
+KB = 1_000
+MB = 1_000 * KB
+GB = 1_000 * MB
+
+# --- time ------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- frequency -------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def bytes_per_second(gigabytes_per_second: float) -> float:
+    """Convert a GB/s figure (decimal gigabytes) to bytes/second."""
+    return gigabytes_per_second * GB
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Number of clock cycles elapsed in ``seconds`` at ``frequency_hz``."""
+    return seconds * frequency_hz
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Wall-clock duration of ``cycles`` ticks at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def transfer_time(num_bytes: float, bandwidth_bytes_per_s: float) -> float:
+    """Serialization time of ``num_bytes`` over a link.
+
+    Zero-byte transfers take zero time; a non-positive bandwidth is a
+    configuration error rather than an infinite transfer.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"cannot transfer a negative size: {num_bytes}")
+    if num_bytes == 0:
+        return 0.0
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError(
+            f"bandwidth must be positive, got {bandwidth_bytes_per_s}"
+        )
+    return num_bytes / bandwidth_bytes_per_s
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (binary units), for reports and logs."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.4g} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration, for reports and logs."""
+    if seconds == 0:
+        return "0 s"
+    if abs(seconds) < US:
+        return f"{seconds / NS:.4g} ns"
+    if abs(seconds) < MS:
+        return f"{seconds / US:.4g} us"
+    if abs(seconds) < 1:
+        return f"{seconds / MS:.4g} ms"
+    return f"{seconds:.4g} s"

@@ -1,0 +1,106 @@
+"""User-facing PIMnet collective API (Fig 5(b)).
+
+Mirrors the paper's library functions — ``PIMnet_AllReduce()`` and
+friends — at Python level: each call takes per-DPU numpy buffers, runs
+the collective functionally, and returns both the outputs and the timed
+result.  Programmers never see the address/timing machinery underneath,
+exactly as Section V-D prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..collectives.patterns import Collective, CollectiveRequest, ReduceOp
+from ..collectives.result import CollectiveResult
+from ..config.presets import MachineConfig, pimnet_sim_system
+from ..errors import CollectiveError
+from .pimnet import PimnetBackend
+
+
+def _run(
+    pattern: Collective,
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None,
+    op: ReduceOp,
+    root: int = 0,
+) -> CollectiveResult:
+    if not buffers:
+        raise CollectiveError("need at least one per-DPU buffer")
+    machine = machine or pimnet_sim_system()
+    expected = machine.system.banks_per_channel
+    if len(buffers) != expected:
+        raise CollectiveError(
+            f"machine has {expected} DPUs but {len(buffers)} buffers given"
+        )
+    first = np.asarray(buffers[0])
+    request = CollectiveRequest(
+        pattern=pattern,
+        payload_bytes=first.size * first.dtype.itemsize,
+        dtype=first.dtype,
+        op=op,
+        root=root,
+    )
+    return PimnetBackend(machine).run(request, buffers)
+
+
+def pimnet_all_reduce(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+    op: ReduceOp = ReduceOp.SUM,
+) -> CollectiveResult:
+    """AllReduce across all DPUs; every DPU ends with the reduced vector."""
+    return _run(Collective.ALL_REDUCE, buffers, machine, op)
+
+
+def pimnet_reduce_scatter(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+    op: ReduceOp = ReduceOp.SUM,
+) -> CollectiveResult:
+    """Reduce-Scatter: DPU i ends with shard i of the reduced vector."""
+    return _run(Collective.REDUCE_SCATTER, buffers, machine, op)
+
+
+def pimnet_all_gather(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+) -> CollectiveResult:
+    """AllGather: every DPU ends with the concatenation of all inputs."""
+    return _run(Collective.ALL_GATHER, buffers, machine, ReduceOp.SUM)
+
+
+def pimnet_all_to_all(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+) -> CollectiveResult:
+    """All-to-All: DPU i ends with chunk i from every DPU."""
+    return _run(Collective.ALL_TO_ALL, buffers, machine, ReduceOp.SUM)
+
+
+def pimnet_broadcast(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+    root: int = 0,
+) -> CollectiveResult:
+    """Broadcast the root DPU's buffer to every DPU."""
+    return _run(Collective.BROADCAST, buffers, machine, ReduceOp.SUM, root)
+
+
+def pimnet_reduce(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+    op: ReduceOp = ReduceOp.SUM,
+    root: int = 0,
+) -> CollectiveResult:
+    """Reduce: the root DPU ends with the combined vector (Section V-E)."""
+    return _run(Collective.REDUCE, buffers, machine, op, root)
+
+
+def pimnet_gather(
+    buffers: list[np.ndarray],
+    machine: MachineConfig | None = None,
+    root: int = 0,
+) -> CollectiveResult:
+    """Gather: the root DPU ends with every DPU's buffer concatenated."""
+    return _run(Collective.GATHER, buffers, machine, ReduceOp.SUM, root)

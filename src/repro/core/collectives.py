@@ -1,0 +1,58 @@
+"""Table V: collective primitives and their PIMnet tier algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.patterns import Collective
+
+
+@dataclass(frozen=True)
+class TierAlgorithm:
+    """One leg of a collective's implementation on PIMnet."""
+
+    tier: str       # "inter-bank" | "inter-chip" | "inter-rank"
+    algorithm: str  # "ring" | "broadcast" | "permutation" | "unicast"
+
+
+#: Table V of the paper: how each collective maps onto the three tiers,
+#: in execution order.
+PIMNET_ALGORITHMS: dict[Collective, tuple[TierAlgorithm, ...]] = {
+    Collective.REDUCE_SCATTER: (
+        TierAlgorithm("inter-bank", "ring"),
+        TierAlgorithm("inter-chip", "ring"),
+        TierAlgorithm("inter-rank", "broadcast"),
+    ),
+    Collective.ALL_GATHER: (
+        TierAlgorithm("inter-rank", "broadcast"),
+        TierAlgorithm("inter-chip", "ring"),
+        TierAlgorithm("inter-bank", "ring"),
+    ),
+    Collective.ALL_REDUCE: (
+        TierAlgorithm("inter-bank", "ring"),
+        TierAlgorithm("inter-chip", "ring"),
+        TierAlgorithm("inter-rank", "broadcast"),
+        TierAlgorithm("inter-chip", "ring"),
+        TierAlgorithm("inter-bank", "ring"),
+    ),
+    Collective.ALL_TO_ALL: (
+        TierAlgorithm("inter-bank", "ring"),
+        TierAlgorithm("inter-chip", "permutation"),
+        TierAlgorithm("inter-rank", "unicast"),
+    ),
+    Collective.BROADCAST: (
+        TierAlgorithm("inter-chip", "ring"),
+        TierAlgorithm("inter-rank", "broadcast"),
+        TierAlgorithm("inter-bank", "ring"),
+    ),
+}
+
+
+def algorithm_chain(pattern: Collective) -> str:
+    """Human-readable Table V row, e.g. ``Ring(inter-bank) -> ...``."""
+    legs = PIMNET_ALGORITHMS.get(pattern)
+    if legs is None:
+        return "single-DPU funnel"
+    return " -> ".join(
+        f"{leg.algorithm.capitalize()}({leg.tier})" for leg in legs
+    )

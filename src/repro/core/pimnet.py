@@ -1,0 +1,56 @@
+"""The PIMnet collective backend (**P** in the paper's figures).
+
+Direct PIM-to-PIM communication over the three-tier fabric, with the
+timing model of :mod:`repro.core.timing` and, on demand, fully resolved
+static schedules (:mod:`repro.core.schedule`) for verification and for
+the cycle-level NoC study.
+"""
+
+from __future__ import annotations
+
+from ..collectives.backend import CollectiveBackend, registry
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..collectives.result import CommBreakdown
+from ..config.presets import MachineConfig
+from .schedule import CommSchedule, Shape, build_schedule
+from .timing import PimnetTimingModel
+
+
+class PimnetBackend(CollectiveBackend):
+    """Collectives over the PIM-controlled three-tier interconnect."""
+
+    key = "P"
+    name = "PIMnet"
+
+    def __init__(self, machine: MachineConfig) -> None:
+        super().__init__(machine)
+        self.model = PimnetTimingModel(machine)
+
+    @property
+    def shape(self) -> Shape:
+        system = self.machine.system
+        return Shape(
+            banks=system.banks_per_chip,
+            chips=system.chips_per_rank,
+            ranks=system.ranks_per_channel,
+        )
+
+    def timing(self, request: CollectiveRequest) -> CommBreakdown:
+        return self.model.breakdown(request)
+
+    def schedule(self, request: CollectiveRequest) -> CommSchedule:
+        """The fully resolved static schedule for ``request``.
+
+        Available for the patterns with Table V algorithms (AllReduce,
+        Reduce-Scatter, All-to-All, Broadcast); element counts must be
+        divisible by the DPU count, as the compiler would pad.
+        """
+        return build_schedule(
+            request.pattern, self.shape, request.num_elements, request.root
+        )
+
+    def supports(self, pattern: Collective) -> bool:
+        return True
+
+
+registry.register("P", PimnetBackend)

@@ -1,0 +1,189 @@
+"""Per-bank PIM communication programs (Fig 5(c) / 5(d)).
+
+The PIMnet API compiles a collective into a sequence of PIM instructions
+offloaded alongside the kernel: POLL for the READY/START synchronization,
+SEND / RECV(_REDUCE) for scheduled data movement, and WAIT at step
+boundaries so shared channels are never contended.  This module
+generates those streams from a :class:`~repro.core.schedule.CommSchedule`
+and provides a step-synchronous interpreter so tests can confirm the
+program representation reproduces the collective exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..collectives.patterns import ReduceOp
+from ..errors import ScheduleError
+from .schedule import CommSchedule
+
+
+class PimOp(Enum):
+    """Communication-instruction opcodes offloaded to each bank."""
+
+    POLL = "poll"            # send READY, block until START
+    SEND = "send"            # push a WRAM range to a peer
+    RECV = "recv"            # accept a range from a peer (overwrite)
+    RECV_REDUCE = "recv_reduce"  # accept a range and combine
+    WAIT = "wait"            # step boundary on shared channels
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class PimInstruction:
+    """One communication instruction in a bank's offloaded stream."""
+
+    op: PimOp
+    peer: int = -1
+    offset: int = 0
+    length: int = 0
+    read_output: bool = False
+    into_output: bool = False
+
+
+def generate_programs(schedule: CommSchedule) -> dict[int, list[PimInstruction]]:
+    """Per-bank instruction streams implementing ``schedule``.
+
+    Every bank's stream has the same WAIT structure (one per step, one
+    POLL per phase), which is what makes lock-step execution — and hence
+    contention-free channel sharing — possible.
+    """
+    n = schedule.shape.num_dpus
+    programs: dict[int, list[PimInstruction]] = {
+        d: [] for d in range(n)
+    }
+    for phase in schedule.phases:
+        for d in range(n):
+            programs[d].append(PimInstruction(PimOp.POLL))
+        for step in phase.steps:
+            for t in step.transfers:
+                if t.src == t.dst:
+                    # Local copy: expressed as a SEND-to-self pair so the
+                    # interpreter handles it uniformly.
+                    programs[t.src].append(
+                        PimInstruction(
+                            PimOp.SEND, peer=t.src, offset=t.src_offset,
+                            length=t.length, read_output=t.read_output,
+                        )
+                    )
+                    programs[t.dst].append(
+                        PimInstruction(
+                            PimOp.RECV, peer=t.dst, offset=t.dst_offset,
+                            length=t.length, into_output=t.into_output,
+                        )
+                    )
+                    continue
+                programs[t.src].append(
+                    PimInstruction(
+                        PimOp.SEND, peer=t.dst, offset=t.src_offset,
+                        length=t.length, read_output=t.read_output,
+                    )
+                )
+                programs[t.dst].append(
+                    PimInstruction(
+                        PimOp.RECV_REDUCE if t.combine else PimOp.RECV,
+                        peer=t.src, offset=t.dst_offset, length=t.length,
+                        into_output=t.into_output,
+                    )
+                )
+            for d in range(n):
+                programs[d].append(PimInstruction(PimOp.WAIT))
+    for d in range(n):
+        programs[d].append(PimInstruction(PimOp.DONE))
+    return programs
+
+
+def run_programs(
+    programs: dict[int, list[PimInstruction]],
+    inputs: list[np.ndarray],
+    op: ReduceOp = ReduceOp.SUM,
+    uses_output: bool | None = None,
+) -> list[np.ndarray]:
+    """Step-synchronous interpreter for per-bank instruction streams.
+
+    All banks advance together between WAIT/POLL boundaries; SENDs of a
+    step are snapshotted before any RECV applies, matching the
+    schedule-executor semantics.  Returns output buffers if any
+    instruction targets them, else the in-place work buffers.
+    """
+    n = len(programs)
+    if len(inputs) != n:
+        raise ScheduleError(f"need {n} buffers, got {len(inputs)}")
+    output_extent = 0
+    for stream in programs.values():
+        for inst in stream:
+            if inst.into_output:
+                output_extent = max(
+                    output_extent, inst.offset + inst.length
+                )
+    if uses_output is None:
+        uses_output = output_extent > 0
+    work = [np.array(buf, copy=True) for buf in inputs]
+    out = None
+    if uses_output:
+        extent = max(output_extent, work[0].size if work else 0)
+        out = [np.zeros(extent, dtype=buf.dtype) for buf in work]
+    pcs = {d: 0 for d in range(n)}
+
+    def segment(d: int) -> list[PimInstruction]:
+        """Instructions of bank ``d`` up to and including the next barrier."""
+        stream = programs[d]
+        chunk: list[PimInstruction] = []
+        while pcs[d] < len(stream):
+            inst = stream[pcs[d]]
+            pcs[d] += 1
+            chunk.append(inst)
+            if inst.op in (PimOp.WAIT, PimOp.POLL, PimOp.DONE):
+                break
+        return chunk
+
+    done = {d: False for d in range(n)}
+    while not all(done.values()):
+        # mailbox: (src, dst) -> queue of payload arrays, FIFO per pair
+        mailbox: dict[tuple[int, int], deque[np.ndarray]] = {}
+        pending_recvs: list[tuple[int, PimInstruction]] = []
+        for d in range(n):
+            if done[d]:
+                continue
+            for inst in segment(d):
+                if inst.op is PimOp.SEND:
+                    source = out[d] if inst.read_output else work[d]
+                    payload = source[
+                        inst.offset : inst.offset + inst.length
+                    ].copy()
+                    mailbox.setdefault((d, inst.peer), deque()).append(payload)
+                elif inst.op in (PimOp.RECV, PimOp.RECV_REDUCE):
+                    pending_recvs.append((d, inst))
+                elif inst.op is PimOp.DONE:
+                    done[d] = True
+        for d, inst in pending_recvs:
+            queue = mailbox.get((inst.peer, d))
+            if not queue:
+                raise ScheduleError(
+                    f"bank {d} expected data from {inst.peer} but none "
+                    "was sent this step — schedule desynchronized"
+                )
+            payload = queue.popleft()
+            if payload.size != inst.length:
+                raise ScheduleError(
+                    f"bank {d}: received {payload.size} elements, "
+                    f"expected {inst.length}"
+                )
+            target = out[d] if inst.into_output else work[d]
+            view = target[inst.offset : inst.offset + inst.length]
+            if inst.op is PimOp.RECV_REDUCE:
+                target[inst.offset : inst.offset + inst.length] = op.apply(
+                    view, payload
+                )
+            else:
+                target[inst.offset : inst.offset + inst.length] = payload
+        undelivered = sum(len(q) for q in mailbox.values())
+        if undelivered:
+            raise ScheduleError(
+                f"{undelivered} sends were never received this step"
+            )
+    return out if uses_output else work

@@ -1,0 +1,896 @@
+"""Static communication schedules (the heart of PIMnet's determinism).
+
+Because collective patterns are known ahead of time (Section IV-A), every
+data movement can be *scheduled*: a :class:`CommSchedule` lists, phase by
+phase and step by step, exactly which bank sends which element range to
+which bank.  The same schedule object serves three purposes:
+
+1. **Verification** — :func:`execute_schedule` replays the transfers on
+   real numpy buffers, and the test suite checks the result against the
+   backend-independent functional reference.  This is the executable
+   form of the paper's Algorithm 1 address generation.
+2. **Timing** — :func:`schedule_timing` derives per-tier times from link
+   loads, cross-validating the closed-form model in
+   :mod:`repro.core.timing`.
+3. **NoC input** — the cycle-level simulator injects flits according to
+   these transfers in its statically scheduled mode (Fig 13).
+
+Hierarchical vector ownership: with shape (B banks, C chips, R ranks)
+and E elements per DPU, DPU (r, c, b) owns the range starting at
+``b*(E/B) + c*(E/(B*C)) + r*(E/N)`` of length ``E/N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..collectives.patterns import Collective, ReduceOp
+
+
+class Tier(Enum):
+    """Which physical tier a phase's transfers traverse."""
+
+    LOCAL = "local"
+    BANK = "inter-bank"
+    CHIP = "inter-chip"
+    RANK = "inter-rank"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One scheduled point-to-point data movement (element-indexed)."""
+
+    src: int
+    dst: int
+    src_offset: int
+    dst_offset: int
+    length: int
+    combine: bool = False       # receiver reduces into its range
+    read_output: bool = False   # source reads from its output buffer
+    into_output: bool = False   # destination writes to its output buffer
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ScheduleError("transfer length must be positive")
+        if self.src_offset < 0 or self.dst_offset < 0:
+            raise ScheduleError("negative transfer offset")
+        if self.combine and self.into_output:
+            raise ScheduleError("combining into the output buffer is unused")
+
+
+@dataclass(frozen=True)
+class Step:
+    """Transfers that proceed in parallel (sources read pre-step state)."""
+
+    transfers: tuple[Transfer, ...]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A tier-homogeneous sequence of steps (one WAIT boundary each).
+
+    ``algorithm`` is the Table V leg this phase implements ("ring",
+    "broadcast", "permutation", "unicast", or "local"); rank-tier timing
+    derates unicast phases by the bus turnaround efficiency.
+    """
+
+    tier: Tier
+    name: str
+    steps: tuple[Step, ...]
+    algorithm: str = "ring"
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Scope of a schedule: banks/chip x chips/rank x ranks.
+
+    Schedule DPU ids enumerate the hierarchy bank-major (rank fastest):
+    ``id = (bank * chips + chip) * ranks + rank``.  This matches the
+    paper's Algorithm 1 address layout — after Reduce-Scatter, DPU i owns
+    the i-th contiguous shard of the vector — so the schedule's results
+    line up with the backend-independent functional semantics without
+    any permutation.
+    """
+
+    banks: int
+    chips: int
+    ranks: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("banks", "chips", "ranks"):
+            if getattr(self, field_name) < 1:
+                raise ScheduleError(f"{field_name} must be >= 1")
+
+    @property
+    def num_dpus(self) -> int:
+        return self.banks * self.chips * self.ranks
+
+    def dpu(self, rank: int, chip: int, bank: int) -> int:
+        """Flat DPU id (rank fastest, then chip, then bank)."""
+        if not (
+            0 <= rank < self.ranks
+            and 0 <= chip < self.chips
+            and 0 <= bank < self.banks
+        ):
+            raise ScheduleError(f"coordinate ({rank},{chip},{bank}) invalid")
+        return (bank * self.chips + chip) * self.ranks + rank
+
+    def coords(self, dpu: int) -> tuple[int, int, int]:
+        """(rank, chip, bank) of a flat DPU id."""
+        if not 0 <= dpu < self.num_dpus:
+            raise ScheduleError(f"DPU {dpu} out of range")
+        rank = dpu % self.ranks
+        rest = dpu // self.ranks
+        return rank, rest % self.chips, rest // self.chips
+
+
+@dataclass(frozen=True)
+class CommSchedule:
+    """A fully resolved, contention-free communication plan."""
+
+    pattern: Collective
+    shape: Shape
+    num_elements: int  # per-DPU input element count E
+    phases: tuple[Phase, ...]
+
+    @property
+    def num_transfers(self) -> int:
+        return sum(
+            len(step.transfers) for ph in self.phases for step in ph.steps
+        )
+
+
+def _partner(index: int, step: int, n: int) -> int:
+    """Pairwise partner for All-to-All steps.
+
+    XOR pairing gives a perfect matching (true pairwise swap, Fig 8) when
+    ``n`` is a power of two; otherwise fall back to rotation, which is
+    still a contention-free permutation but not self-inverse.
+    """
+    if n & (n - 1) == 0:
+        return index ^ step
+    return (index + step) % n
+
+
+def _segment_sizes(shape: Shape, num_elements: int) -> tuple[int, int, int]:
+    """(bank segment, chip sub-segment, rank subsub-segment) sizes."""
+    n = shape.num_dpus
+    if num_elements % n != 0:
+        raise ScheduleError(
+            f"element count {num_elements} not divisible by {n} DPUs"
+        )
+    seg = num_elements // shape.banks
+    sub = seg // shape.chips
+    subsub = sub // shape.ranks
+    return seg, sub, subsub
+
+
+def owned_range(shape: Shape, num_elements: int, dpu: int) -> tuple[int, int]:
+    """(offset, length) of the vector shard DPU ``dpu`` owns after RS."""
+    seg, sub, subsub = _segment_sizes(shape, num_elements)
+    rank, chip, bank = shape.coords(dpu)
+    return bank * seg + chip * sub + rank * subsub, subsub
+
+
+# --------------------------------------------------------------------------
+# Hierarchical ring Reduce-Scatter / AllGather phases (AllReduce building
+# blocks, Table V rows 1-3).
+# --------------------------------------------------------------------------
+
+def _bank_ring_phase(
+    shape: Shape, seg: int, reduce_scatter: bool
+) -> Phase | None:
+    """Intra-chip ring over banks, operating on bank segments."""
+    b_count = shape.banks
+    if b_count == 1:
+        return None
+    steps = []
+    for s in range(b_count - 1):
+        transfers = []
+        for r in range(shape.ranks):
+            for c in range(shape.chips):
+                for b in range(b_count):
+                    if reduce_scatter:
+                        seg_idx = (b - s - 1) % b_count
+                    else:
+                        seg_idx = (b - s) % b_count
+                    transfers.append(
+                        Transfer(
+                            src=shape.dpu(r, c, b),
+                            dst=shape.dpu(r, c, (b + 1) % b_count),
+                            src_offset=seg_idx * seg,
+                            dst_offset=seg_idx * seg,
+                            length=seg,
+                            combine=reduce_scatter,
+                        )
+                    )
+        steps.append(Step(tuple(transfers)))
+    name = "bank-RS" if reduce_scatter else "bank-AG"
+    return Phase(Tier.BANK, name, tuple(steps))
+
+
+def _chip_ring_phase(
+    shape: Shape, seg: int, sub: int, reduce_scatter: bool
+) -> Phase | None:
+    """Intra-rank ring over chips, operating on chip sub-segments."""
+    c_count = shape.chips
+    if c_count == 1:
+        return None
+    steps = []
+    for s in range(c_count - 1):
+        transfers = []
+        for r in range(shape.ranks):
+            for b in range(shape.banks):
+                for c in range(c_count):
+                    if reduce_scatter:
+                        sub_idx = (c - s - 1) % c_count
+                    else:
+                        sub_idx = (c - s) % c_count
+                    offset = b * seg + sub_idx * sub
+                    transfers.append(
+                        Transfer(
+                            src=shape.dpu(r, c, b),
+                            dst=shape.dpu(r, (c + 1) % c_count, b),
+                            src_offset=offset,
+                            dst_offset=offset,
+                            length=sub,
+                            combine=reduce_scatter,
+                        )
+                    )
+        steps.append(Step(tuple(transfers)))
+    name = "chip-RS" if reduce_scatter else "chip-AG"
+    return Phase(Tier.CHIP, name, tuple(steps))
+
+
+def _rank_bus_rs_phase(shape: Shape, seg: int, sub: int, subsub: int) -> Phase | None:
+    """Bus-based Reduce-Scatter across ranks.
+
+    Every rank puts its non-owned partials on the multi-drop bus once;
+    the owning rank's bank picks each range up and combines.  One step
+    suffices because every source value read is the sender's pre-phase
+    local partial.
+    """
+    r_count = shape.ranks
+    if r_count == 1:
+        return None
+    transfers = []
+    for c in range(shape.chips):
+        for b in range(shape.banks):
+            for r_src in range(r_count):
+                for r_dst in range(r_count):
+                    if r_dst == r_src:
+                        continue
+                    offset = b * seg + c * sub + r_dst * subsub
+                    transfers.append(
+                        Transfer(
+                            src=shape.dpu(r_src, c, b),
+                            dst=shape.dpu(r_dst, c, b),
+                            src_offset=offset,
+                            dst_offset=offset,
+                            length=subsub,
+                            combine=True,
+                        )
+                    )
+    return Phase(Tier.RANK, "rank-RS", (Step(tuple(transfers)),), algorithm="broadcast")
+
+
+def _rank_bus_ag_phase(shape: Shape, seg: int, sub: int, subsub: int) -> Phase | None:
+    """Bus broadcast of each owner's reduced shard to the other ranks."""
+    r_count = shape.ranks
+    if r_count == 1:
+        return None
+    transfers = []
+    for c in range(shape.chips):
+        for b in range(shape.banks):
+            for r_own in range(r_count):
+                offset = b * seg + c * sub + r_own * subsub
+                for r_dst in range(r_count):
+                    if r_dst == r_own:
+                        continue
+                    transfers.append(
+                        Transfer(
+                            src=shape.dpu(r_own, c, b),
+                            dst=shape.dpu(r_dst, c, b),
+                            src_offset=offset,
+                            dst_offset=offset,
+                            length=subsub,
+                        )
+                    )
+    return Phase(Tier.RANK, "rank-AG", (Step(tuple(transfers)),), algorithm="broadcast")
+
+
+def reduce_scatter_schedule(shape: Shape, num_elements: int) -> CommSchedule:
+    """Ring(bank) -> Ring(chip) -> Broadcast-bus(rank), per Table V."""
+    seg, sub, subsub = _segment_sizes(shape, num_elements)
+    phases = [
+        _bank_ring_phase(shape, seg, reduce_scatter=True),
+        _chip_ring_phase(shape, seg, sub, reduce_scatter=True),
+        _rank_bus_rs_phase(shape, seg, sub, subsub),
+    ]
+    return CommSchedule(
+        Collective.REDUCE_SCATTER,
+        shape,
+        num_elements,
+        tuple(p for p in phases if p is not None),
+    )
+
+
+def allreduce_schedule(shape: Shape, num_elements: int) -> CommSchedule:
+    """RS phases followed by their mirror-image AllGather phases."""
+    seg, sub, subsub = _segment_sizes(shape, num_elements)
+    phases = [
+        _bank_ring_phase(shape, seg, reduce_scatter=True),
+        _chip_ring_phase(shape, seg, sub, reduce_scatter=True),
+        _rank_bus_rs_phase(shape, seg, sub, subsub),
+        _rank_bus_ag_phase(shape, seg, sub, subsub),
+        _chip_ring_phase(shape, seg, sub, reduce_scatter=False),
+        _bank_ring_phase(shape, seg, reduce_scatter=False),
+    ]
+    return CommSchedule(
+        Collective.ALL_REDUCE,
+        shape,
+        num_elements,
+        tuple(p for p in phases if p is not None),
+    )
+
+
+# --------------------------------------------------------------------------
+# All-to-All (Table V row 4): ring (bank), permutation (chip), unicast (rank).
+# --------------------------------------------------------------------------
+
+def alltoall_schedule(shape: Shape, num_elements: int) -> CommSchedule:
+    """Pairwise-swap All-to-All across the three tiers."""
+    n = shape.num_dpus
+    if num_elements % n != 0:
+        raise ScheduleError(
+            f"element count {num_elements} not divisible by {n} DPUs"
+        )
+    chunk = num_elements // n
+    phases: list[Phase] = []
+
+    # Local chunk: out[i][i] = in[i][i].
+    local = [
+        Transfer(
+            src=d, dst=d, src_offset=d * chunk, dst_offset=d * chunk,
+            length=chunk, into_output=True,
+        )
+        for d in range(n)
+    ]
+    phases.append(Phase(Tier.LOCAL, "local-copy", (Step(tuple(local)),), algorithm="local"))
+
+    if shape.banks > 1:
+        steps = []
+        for s in range(1, shape.banks):
+            transfers = []
+            for r in range(shape.ranks):
+                for c in range(shape.chips):
+                    for b in range(shape.banks):
+                        # Inter-bank A2A uses the ring algorithm (Table V):
+                        # step s sends each bank's chunk for the bank s
+                        # positions ahead, traveling the shorter ring way.
+                        bp = (b + s) % shape.banks
+                        if bp == b:
+                            continue
+                        src = shape.dpu(r, c, b)
+                        dst = shape.dpu(r, c, bp)
+                        transfers.append(
+                            Transfer(
+                                src=src, dst=dst,
+                                src_offset=dst * chunk,
+                                dst_offset=src * chunk,
+                                length=chunk, into_output=True,
+                            )
+                        )
+            steps.append(Step(tuple(transfers)))
+        phases.append(Phase(Tier.BANK, "bank-a2a", tuple(steps)))
+
+    if shape.chips > 1:
+        steps = []
+        for s in range(1, shape.chips):
+            transfers = []
+            for r in range(shape.ranks):
+                for c in range(shape.chips):
+                    cp = _partner(c, s, shape.chips)
+                    if cp == c:
+                        continue
+                    for b in range(shape.banks):
+                        src = shape.dpu(r, c, b)
+                        for bp in range(shape.banks):
+                            dst = shape.dpu(r, cp, bp)
+                            transfers.append(
+                                Transfer(
+                                    src=src, dst=dst,
+                                    src_offset=dst * chunk,
+                                    dst_offset=src * chunk,
+                                    length=chunk, into_output=True,
+                                )
+                            )
+            steps.append(Step(tuple(transfers)))
+        phases.append(Phase(Tier.CHIP, "chip-a2a", tuple(steps), algorithm="permutation"))
+
+    if shape.ranks > 1:
+        steps = []
+        for s in range(1, shape.ranks):
+            transfers = []
+            for r in range(shape.ranks):
+                rp = _partner(r, s, shape.ranks)
+                if rp == r:
+                    continue
+                for c in range(shape.chips):
+                    for b in range(shape.banks):
+                        src = shape.dpu(r, c, b)
+                        for cp in range(shape.chips):
+                            for bp in range(shape.banks):
+                                dst = shape.dpu(rp, cp, bp)
+                                transfers.append(
+                                    Transfer(
+                                        src=src, dst=dst,
+                                        src_offset=dst * chunk,
+                                        dst_offset=src * chunk,
+                                        length=chunk, into_output=True,
+                                    )
+                                )
+            steps.append(Step(tuple(transfers)))
+        phases.append(Phase(Tier.RANK, "rank-a2a", tuple(steps), algorithm="unicast"))
+
+    return CommSchedule(
+        Collective.ALL_TO_ALL, shape, num_elements, tuple(phases)
+    )
+
+
+# --------------------------------------------------------------------------
+# Broadcast (Table V row 5): Ring(chip) -> Broadcast(rank) -> Ring(bank).
+# --------------------------------------------------------------------------
+
+def broadcast_schedule(
+    shape: Shape, num_elements: int, root: int = 0
+) -> CommSchedule:
+    """Spread the root bank's full payload to every bank."""
+    if not 0 <= root < shape.num_dpus:
+        raise ScheduleError(f"root {root} out of range")
+    r0, c0, b0 = shape.coords(root)
+    phases: list[Phase] = []
+
+    if shape.chips > 1:
+        transfers = tuple(
+            Transfer(
+                src=root, dst=shape.dpu(r0, c, b0),
+                src_offset=0, dst_offset=0, length=num_elements,
+            )
+            for c in range(shape.chips)
+            if c != c0
+        )
+        phases.append(Phase(Tier.CHIP, "chip-bcast", (Step(transfers),), algorithm="ring"))
+
+    if shape.ranks > 1:
+        transfers = tuple(
+            Transfer(
+                src=shape.dpu(r0, c, b0), dst=shape.dpu(r, c, b0),
+                src_offset=0, dst_offset=0, length=num_elements,
+            )
+            for c in range(shape.chips)
+            for r in range(shape.ranks)
+            if r != r0
+        )
+        phases.append(Phase(Tier.RANK, "rank-bcast", (Step(transfers),), algorithm="broadcast"))
+
+    if shape.banks > 1:
+        transfers = tuple(
+            Transfer(
+                src=shape.dpu(r, c, b0), dst=shape.dpu(r, c, b),
+                src_offset=0, dst_offset=0, length=num_elements,
+            )
+            for r in range(shape.ranks)
+            for c in range(shape.chips)
+            for b in range(shape.banks)
+            if b != b0
+        )
+        phases.append(Phase(Tier.BANK, "bank-bcast", (Step(transfers),)))
+
+    return CommSchedule(
+        Collective.BROADCAST, shape, num_elements, tuple(phases)
+    )
+
+
+# --------------------------------------------------------------------------
+# AllGather (Table V row 2): Broadcast(rank) -> Ring(chip) -> Ring(bank).
+# --------------------------------------------------------------------------
+
+def allgather_schedule(shape: Shape, num_elements: int) -> CommSchedule:
+    """Standalone AllGather: every DPU ends with all N input blocks.
+
+    Blocks live at their canonical offsets (``dpu * E``) of the N*E
+    output buffer.  The rank tier broadcasts each bank's block to its
+    peers in other ranks; the chip and bank tiers then run grouped ring
+    AllGathers over chip-origin and bank-origin block sets.
+    """
+    e = num_elements
+    n = shape.num_dpus
+    phases: list[Phase] = []
+
+    local = tuple(
+        Transfer(
+            src=d, dst=d, src_offset=0, dst_offset=d * e, length=e,
+            into_output=True,
+        )
+        for d in range(n)
+    )
+    phases.append(Phase(Tier.LOCAL, "local-place", (Step(local),), "local"))
+
+    if shape.ranks > 1:
+        transfers = []
+        for r in range(shape.ranks):
+            for c in range(shape.chips):
+                for b in range(shape.banks):
+                    src = shape.dpu(r, c, b)
+                    for r_dst in range(shape.ranks):
+                        if r_dst == r:
+                            continue
+                        transfers.append(
+                            Transfer(
+                                src=src, dst=shape.dpu(r_dst, c, b),
+                                src_offset=src * e, dst_offset=src * e,
+                                length=e, read_output=True,
+                                into_output=True,
+                            )
+                        )
+        phases.append(
+            Phase(Tier.RANK, "rank-bcast", (Step(tuple(transfers)),),
+                  "broadcast")
+        )
+
+    if shape.chips > 1:
+        steps = []
+        for s in range(shape.chips - 1):
+            transfers = []
+            for r in range(shape.ranks):
+                for c in range(shape.chips):
+                    origin_chip = (c - s) % shape.chips
+                    for b in range(shape.banks):
+                        src = shape.dpu(r, c, b)
+                        dst = shape.dpu(r, (c + 1) % shape.chips, b)
+                        for r_origin in range(shape.ranks):
+                            block = shape.dpu(r_origin, origin_chip, b)
+                            transfers.append(
+                                Transfer(
+                                    src=src, dst=dst,
+                                    src_offset=block * e,
+                                    dst_offset=block * e,
+                                    length=e, read_output=True,
+                                    into_output=True,
+                                )
+                            )
+            steps.append(Step(tuple(transfers)))
+        phases.append(Phase(Tier.CHIP, "chip-AG", tuple(steps), "ring"))
+
+    if shape.banks > 1:
+        steps = []
+        for s in range(shape.banks - 1):
+            transfers = []
+            for r in range(shape.ranks):
+                for c in range(shape.chips):
+                    for b in range(shape.banks):
+                        origin_bank = (b - s) % shape.banks
+                        src = shape.dpu(r, c, b)
+                        dst = shape.dpu(r, c, (b + 1) % shape.banks)
+                        for r_origin in range(shape.ranks):
+                            for c_origin in range(shape.chips):
+                                block = shape.dpu(
+                                    r_origin, c_origin, origin_bank
+                                )
+                                transfers.append(
+                                    Transfer(
+                                        src=src, dst=dst,
+                                        src_offset=block * e,
+                                        dst_offset=block * e,
+                                        length=e, read_output=True,
+                                        into_output=True,
+                                    )
+                                )
+            steps.append(Step(tuple(transfers)))
+        phases.append(Phase(Tier.BANK, "bank-AG", tuple(steps), "ring"))
+
+    return CommSchedule(Collective.ALL_GATHER, shape, num_elements,
+                        tuple(phases))
+
+
+# --------------------------------------------------------------------------
+# N-to-1 collectives (Section V-E: "a single DPU can be used").
+# --------------------------------------------------------------------------
+
+def _funnel_phases(
+    shape: Shape,
+    root: int,
+    make_transfer,
+) -> list[Phase]:
+    """Three locality-ordered phases delivering to ``root``.
+
+    ``make_transfer(src)`` returns the Transfer carrying src's
+    contribution; sources on the root's chip travel the ring, in-rank
+    sources cross the crossbar, remote ranks cross the bus.
+    """
+    r0, c0, _ = shape.coords(root)
+    bank_t, chip_t, rank_t = [], [], []
+    for d in range(shape.num_dpus):
+        if d == root:
+            continue
+        r, c, _ = shape.coords(d)
+        transfer = make_transfer(d)
+        if (r, c) == (r0, c0):
+            bank_t.append(transfer)
+        elif r == r0:
+            chip_t.append(transfer)
+        else:
+            rank_t.append(transfer)
+    phases = []
+    if bank_t:
+        phases.append(
+            Phase(Tier.BANK, "bank-funnel", (Step(tuple(bank_t)),), "ring")
+        )
+    if chip_t:
+        phases.append(
+            Phase(Tier.CHIP, "chip-funnel", (Step(tuple(chip_t)),), "ring")
+        )
+    if rank_t:
+        phases.append(
+            Phase(
+                Tier.RANK, "rank-funnel", (Step(tuple(rank_t)),), "unicast"
+            )
+        )
+    return phases
+
+
+def reduce_schedule(
+    shape: Shape, num_elements: int, root: int = 0
+) -> CommSchedule:
+    """Reduce: a Reduce-Scatter followed by a shard funnel to the root."""
+    if not 0 <= root < shape.num_dpus:
+        raise ScheduleError(f"root {root} out of range")
+    rs = reduce_scatter_schedule(shape, num_elements)
+
+    def shard_transfer(src: int) -> Transfer:
+        offset, length = owned_range(shape, num_elements, src)
+        return Transfer(
+            src=src, dst=root, src_offset=offset, dst_offset=offset,
+            length=length,
+        )
+
+    phases = rs.phases + tuple(_funnel_phases(shape, root, shard_transfer))
+    return CommSchedule(Collective.REDUCE, shape, num_elements, phases)
+
+
+def gather_schedule(
+    shape: Shape, num_elements: int, root: int = 0
+) -> CommSchedule:
+    """Gather: every DPU's block funneled to the root's output buffer."""
+    if not 0 <= root < shape.num_dpus:
+        raise ScheduleError(f"root {root} out of range")
+    e = num_elements
+    local = Phase(
+        Tier.LOCAL,
+        "local-place",
+        (
+            Step(
+                (
+                    Transfer(
+                        src=root, dst=root, src_offset=0,
+                        dst_offset=root * e, length=e, into_output=True,
+                    ),
+                )
+            ),
+        ),
+        "local",
+    )
+
+    def block_transfer(src: int) -> Transfer:
+        return Transfer(
+            src=src, dst=root, src_offset=0, dst_offset=src * e,
+            length=e, into_output=True,
+        )
+
+    phases = (local,) + tuple(_funnel_phases(shape, root, block_transfer))
+    return CommSchedule(Collective.GATHER, shape, num_elements, phases)
+
+
+def build_schedule(
+    pattern: Collective, shape: Shape, num_elements: int, root: int = 0
+) -> CommSchedule:
+    """Dispatch to the pattern-specific schedule generator."""
+    if pattern is Collective.ALL_REDUCE:
+        return allreduce_schedule(shape, num_elements)
+    if pattern is Collective.REDUCE_SCATTER:
+        return reduce_scatter_schedule(shape, num_elements)
+    if pattern is Collective.ALL_TO_ALL:
+        return alltoall_schedule(shape, num_elements)
+    if pattern is Collective.BROADCAST:
+        return broadcast_schedule(shape, num_elements, root)
+    if pattern is Collective.ALL_GATHER:
+        return allgather_schedule(shape, num_elements)
+    if pattern is Collective.REDUCE:
+        return reduce_schedule(shape, num_elements, root)
+    if pattern is Collective.GATHER:
+        return gather_schedule(shape, num_elements, root)
+    raise ScheduleError(f"no static schedule generator for {pattern}")
+
+
+# --------------------------------------------------------------------------
+# Execution (verification) and link-load timing.
+# --------------------------------------------------------------------------
+
+def execute_schedule(
+    schedule: CommSchedule,
+    inputs: list[np.ndarray],
+    op: ReduceOp = ReduceOp.SUM,
+) -> list[np.ndarray]:
+    """Replay a schedule on per-DPU buffers.
+
+    Returns the work buffers for in-place patterns (AllReduce /
+    Reduce-Scatter / Broadcast) or the output buffers for All-to-All.
+    Within a step, all sources are read from pre-step state, so parallel
+    transfers cannot order-race.
+    """
+    n = schedule.shape.num_dpus
+    if len(inputs) != n:
+        raise ScheduleError(f"need {n} buffers, got {len(inputs)}")
+    work = [np.array(buf, copy=True) for buf in inputs]
+    for i, buf in enumerate(work):
+        if buf.size != schedule.num_elements:
+            raise ScheduleError(
+                f"buffer {i}: {buf.size} elements, expected "
+                f"{schedule.num_elements}"
+            )
+    output_transfers = [
+        t
+        for ph in schedule.phases
+        for st in ph.steps
+        for t in st.transfers
+        if t.into_output
+    ]
+    out = None
+    if output_transfers:
+        # Output buffers are sized by the schedule's write extent:
+        # E for All-to-All, N*E for AllGather/Gather.
+        extent = max(t.dst_offset + t.length for t in output_transfers)
+        out = [
+            np.zeros(extent, dtype=buf.dtype) for buf in work
+        ]
+    uses_output = out is not None
+
+    for phase in schedule.phases:
+        for step in phase.steps:
+            staged: list[tuple[Transfer, np.ndarray]] = []
+            for t in step.transfers:
+                source = out[t.src] if t.read_output else work[t.src]
+                staged.append(
+                    (t, source[t.src_offset : t.src_offset + t.length].copy())
+                )
+            for t, data in staged:
+                target = out[t.dst] if t.into_output else work[t.dst]
+                view = target[t.dst_offset : t.dst_offset + t.length]
+                if t.combine:
+                    target[t.dst_offset : t.dst_offset + t.length] = op.apply(
+                        view, data
+                    )
+                else:
+                    target[t.dst_offset : t.dst_offset + t.length] = data
+
+    return out if uses_output else work
+
+
+def schedule_timing(
+    schedule: CommSchedule,
+    network: "object",
+    itemsize: int = 8,
+) -> dict[Tier, float]:
+    """Per-tier time of a schedule from per-step link loads.
+
+    ``network`` is a :class:`~repro.config.network.PimnetNetworkConfig`.
+    Ring tiers take the max directed-link load per step (shorter-way
+    routing); the crossbar takes the max per-chip port load; the bus
+    serializes all unique payloads (broadcast counted once per source
+    range).
+    """
+    times: dict[Tier, float] = {t: 0.0 for t in Tier}
+    shape = schedule.shape
+    for phase in schedule.phases:
+        for step in phase.steps:
+            if phase.tier is Tier.LOCAL:
+                continue
+            if phase.tier is Tier.BANK:
+                times[Tier.BANK] += _bank_step_time(
+                    shape, step, network.inter_bank, itemsize
+                )
+            elif phase.tier is Tier.CHIP:
+                times[Tier.CHIP] += _chip_step_time(
+                    shape, step, network.inter_chip, itemsize
+                )
+            elif phase.tier is Tier.RANK:
+                efficiency = (
+                    network.inter_rank_unicast_efficiency
+                    if phase.algorithm == "unicast"
+                    else 1.0
+                )
+                times[Tier.RANK] += _rank_step_time(
+                    shape, step, network.inter_rank, network.inter_chip,
+                    itemsize, efficiency,
+                )
+    return times
+
+
+def _bank_step_time(shape: Shape, step: Step, link, itemsize: int) -> float:
+    loads: dict[tuple[int, int, int, int, int], float] = {}
+    max_hops = 0
+    for t in step.transfers:
+        r, c, b_src = shape.coords(t.src)
+        _, _, b_dst = shape.coords(t.dst)
+        east = (b_dst - b_src) % shape.banks
+        west = shape.banks - east
+        if east <= west:
+            hops, direction, start = east, +1, b_src
+        else:
+            hops, direction, start = west, -1, b_src
+        max_hops = max(max_hops, hops)
+        for h in range(hops):
+            position = (start + direction * h) % shape.banks
+            key = (r, c, position, direction, 0)
+            loads[key] = loads.get(key, 0.0) + t.length * itemsize
+    if not loads:
+        return 0.0
+    peak = max(loads.values())
+    return peak / link.link_bandwidth_bytes_per_s + max_hops * link.hop_latency_s
+
+
+def _chip_step_time(shape: Shape, step: Step, link, itemsize: int) -> float:
+    out_load: dict[tuple[int, int], float] = {}
+    in_load: dict[tuple[int, int], float] = {}
+    for t in step.transfers:
+        r_src, c_src, _ = shape.coords(t.src)
+        r_dst, c_dst, _ = shape.coords(t.dst)
+        nbytes = t.length * itemsize
+        out_load[(r_src, c_src)] = out_load.get((r_src, c_src), 0.0) + nbytes
+        in_load[(r_dst, c_dst)] = in_load.get((r_dst, c_dst), 0.0) + nbytes
+    if not out_load:
+        return 0.0
+    peak = max(max(out_load.values()), max(in_load.values()))
+    return peak / link.link_bandwidth_bytes_per_s + 2 * link.hop_latency_s
+
+
+def _rank_step_time(
+    shape: Shape, step: Step, bus_link, chip_link, itemsize: int,
+    efficiency: float = 1.0,
+) -> float:
+    """Bus serialization vs per-chip DQ port load, whichever dominates.
+
+    Rank-crossing data also transits the source and destination chips'
+    DQ pins, so a rank step costs max(bus time, peak chip-port time);
+    broadcast payloads (same source range to many ranks) occupy the
+    multi-drop bus once.
+    """
+    unique_payloads: set[tuple[int, int, int, bool]] = set()
+    out_load: dict[tuple[int, int], float] = {}
+    in_load: dict[tuple[int, int], float] = {}
+    for t in step.transfers:
+        unique_payloads.add((t.src, t.src_offset, t.length, t.read_output))
+        r_src, c_src, _ = shape.coords(t.src)
+        r_dst, c_dst, _ = shape.coords(t.dst)
+        nbytes = t.length * itemsize
+        in_load[(r_dst, c_dst)] = in_load.get((r_dst, c_dst), 0.0) + nbytes
+    for src, offset, length, read_output in unique_payloads:
+        r_src, c_src, _ = shape.coords(src)
+        out_load[(r_src, c_src)] = (
+            out_load.get((r_src, c_src), 0.0) + length * itemsize
+        )
+    bus_bytes = sum(p[2] * itemsize for p in unique_payloads)
+    if bus_bytes == 0:
+        return 0.0
+    bus_time = bus_bytes / (bus_link.link_bandwidth_bytes_per_s * efficiency)
+    port_peak = max(
+        max(out_load.values(), default=0.0),
+        max(in_load.values(), default=0.0),
+    )
+    port_time = port_peak / chip_link.link_bandwidth_bytes_per_s
+    return max(bus_time, port_time) + 2 * bus_link.hop_latency_s

@@ -1,0 +1,61 @@
+"""READY/START synchronization tree (Section IV-C, Fig 5(d)).
+
+Before a scheduled collective can launch, every participating bank sends
+READY to its chip's control interface; chips aggregate to the inter-chip
+switch; ranks aggregate to the inter-rank switch.  START propagates back
+down the same tree.  The cost is pure propagation latency — there is no
+arbitration — and it is charged once per collective *phase* boundary
+that changes tiers (each WAIT in Fig 5(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.network import PimnetNetworkConfig
+from ..config.system import PimSystemConfig
+from ..errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class SyncTree:
+    """Computes READY/START round-trip latencies for a collective scope."""
+
+    system: PimSystemConfig
+    network: PimnetNetworkConfig
+
+    def levels_for_scope(self) -> int:
+        """Tree levels the sync must climb for a whole-channel collective.
+
+        1 = banks of one chip only; 2 = + inter-chip switch; 3 = + the
+        inter-rank switch.
+        """
+        levels = 1
+        if self.system.chips_per_rank > 1:
+            levels += 1
+        if self.system.ranks_per_channel > 1:
+            levels += 1
+        return levels
+
+    def round_trip_latency_s(self, levels: int | None = None) -> float:
+        """READY-up plus START-down propagation latency."""
+        if levels is None:
+            levels = self.levels_for_scope()
+        if not 1 <= levels <= 3:
+            raise ScheduleError(f"sync tree has 1..3 levels, got {levels}")
+        hops = [self.network.inter_bank.hop_latency_s]
+        if levels >= 2:
+            hops.append(self.network.inter_chip.hop_latency_s)
+        if levels >= 3:
+            hops.append(self.network.inter_rank.hop_latency_s)
+        one_way = sum(hops)
+        # READY aggregation and START fan-out each traverse the tree once;
+        # the configured fabric-wide worst case acts as a floor so a tiny
+        # test system still pays a physically plausible latency.
+        return max(2 * one_way, self.network.sync_latency_s)
+
+    def phase_sync_time_s(self, num_phases: int) -> float:
+        """Total synchronization overhead for a ``num_phases`` collective."""
+        if num_phases < 0:
+            raise ScheduleError("phase count must be >= 0")
+        return num_phases * self.round_trip_latency_s()

@@ -1,0 +1,291 @@
+"""Closed-form PIMnet timing model (Section V, validated against
+:func:`repro.core.schedule.schedule_timing` in the test suite).
+
+All formulas assume the Table V tier algorithms.  For a scope of
+B banks/chip x C chips/rank x R ranks and a per-DPU payload of L bytes:
+
+* ring Reduce-Scatter over n nodes moves (n-1)/n * L per node;
+* the inter-chip crossbar is permutation-scheduled, so a chip's two
+  DQ channels (send/receive) are the per-step bottleneck;
+* the inter-rank bus is half-duplex and serializes all unique payloads,
+  but a broadcast payload occupies it only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..collectives.result import CommBreakdown
+from ..config.presets import MachineConfig
+from ..config.units import transfer_time
+from ..errors import BackendError
+from ..memory.bank import BankMemory
+from .sync import SyncTree
+
+
+@dataclass(frozen=True)
+class TierTimes:
+    """Raw per-tier transport times before sync/mem overheads."""
+
+    bank_s: float = 0.0
+    chip_s: float = 0.0
+    rank_s: float = 0.0
+    num_phases: int = 0
+
+
+class PimnetTimingModel:
+    """Closed-form per-collective timing for the PIMnet fabric."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.network = machine.pimnet
+        system = machine.system
+        self.banks = system.banks_per_chip
+        self.chips = system.chips_per_rank
+        self.ranks = system.ranks_per_channel
+        self.num_dpus = system.banks_per_channel
+        self.sync_tree = SyncTree(system, self.network)
+        self._bank_memory = BankMemory(
+            system.dpu,
+            dma_bandwidth_bytes_per_s=self.network.mram_wram_dma_bytes_per_s,
+        )
+
+    # -- tier primitives ---------------------------------------------------------
+    def _bank_ring_phase_s(self, payload_bytes: float) -> float:
+        """One ring RS (or AG) pass over the banks of each chip."""
+        b = self.banks
+        if b == 1:
+            return 0.0
+        link = self.network.inter_bank
+        per_step = transfer_time(
+            payload_bytes / b, link.link_bandwidth_bytes_per_s
+        )
+        return (b - 1) * (per_step + link.hop_latency_s)
+
+    def _chip_ring_phase_s(self, payload_bytes: float) -> float:
+        """One ring RS (or AG) pass over the chips of each rank.
+
+        Every bank participates with its sub-segment, so per step each
+        chip's DQ channel carries payload/C bytes.
+        """
+        c = self.chips
+        if c == 1:
+            return 0.0
+        link = self.network.inter_chip
+        per_step = transfer_time(
+            payload_bytes / c, link.link_bandwidth_bytes_per_s
+        )
+        return (c - 1) * (per_step + 2 * link.hop_latency_s)
+
+    def _rank_port_time_s(self, chip_crossing_bytes: float) -> float:
+        """Per-chip DQ time for rank-tier data entering/leaving a chip."""
+        return transfer_time(
+            chip_crossing_bytes,
+            self.network.inter_chip.link_bandwidth_bytes_per_s,
+        )
+
+    def _rank_rs_phase_s(self, payload_bytes: float) -> float:
+        """Bus Reduce-Scatter: every rank's non-owned partials, once each.
+
+        The bus serializes all (R-1) x payload unique bytes; each chip's
+        DQ pins carry its (R-1) x payload / (C x R) share, and the slower
+        of the two bounds the phase (rank data still transits the chips).
+        """
+        r = self.ranks
+        if r == 1:
+            return 0.0
+        link = self.network.inter_rank
+        bus = transfer_time(
+            (r - 1) * payload_bytes, link.link_bandwidth_bytes_per_s
+        )
+        port = self._rank_port_time_s(
+            (r - 1) * payload_bytes / (self.chips * r)
+        )
+        return max(bus, port) + 2 * link.hop_latency_s
+
+    def _rank_ag_phase_s(self, payload_bytes: float) -> float:
+        """Bus AllGather: each owned shard broadcast once."""
+        r = self.ranks
+        if r == 1:
+            return 0.0
+        link = self.network.inter_rank
+        bus = transfer_time(
+            payload_bytes, link.link_bandwidth_bytes_per_s
+        )
+        port = self._rank_port_time_s(
+            (r - 1) * payload_bytes / (self.chips * r)
+        )
+        return max(bus, port) + 2 * link.hop_latency_s
+
+    # -- per-pattern tier times --------------------------------------------------
+    def _tier_times(self, request: CollectiveRequest) -> TierTimes:
+        payload = float(request.payload_bytes)
+        pattern = request.pattern
+        b, c, r = self.banks, self.chips, self.ranks
+        n = self.num_dpus
+        phases_present = (b > 1) + (c > 1) + (r > 1)
+
+        if pattern is Collective.REDUCE_SCATTER:
+            return TierTimes(
+                bank_s=self._bank_ring_phase_s(payload),
+                chip_s=self._chip_ring_phase_s(payload),
+                rank_s=self._rank_rs_phase_s(payload),
+                num_phases=phases_present,
+            )
+
+        if pattern is Collective.ALL_REDUCE:
+            return TierTimes(
+                bank_s=2 * self._bank_ring_phase_s(payload),
+                chip_s=2 * self._chip_ring_phase_s(payload),
+                rank_s=(
+                    self._rank_rs_phase_s(payload)
+                    + self._rank_ag_phase_s(payload)
+                ),
+                num_phases=2 * phases_present,
+            )
+
+        if pattern is Collective.ALL_GATHER:
+            bank_link = self.network.inter_bank
+            chip_link = self.network.inter_chip
+            rank_link = self.network.inter_rank
+            rank_s = 0.0
+            if r > 1:
+                rank_s = transfer_time(
+                    n * payload, rank_link.link_bandwidth_bytes_per_s
+                ) + 2 * rank_link.hop_latency_s
+            chip_s = 0.0
+            if c > 1:
+                chip_s = transfer_time(
+                    (n - b) * payload, chip_link.link_bandwidth_bytes_per_s
+                ) + 2 * chip_link.hop_latency_s
+            bank_s = 0.0
+            if b > 1:
+                bank_s = transfer_time(
+                    (b - 1) / b * n * payload,
+                    bank_link.link_bandwidth_bytes_per_s,
+                ) + (b - 1) * bank_link.hop_latency_s
+            return TierTimes(bank_s, chip_s, rank_s, phases_present)
+
+        if pattern is Collective.ALL_TO_ALL:
+            chunk = payload / n
+            bank_link = self.network.inter_bank
+            chip_link = self.network.inter_chip
+            rank_link = self.network.inter_rank
+            bank_s = 0.0
+            if b > 1:
+                # Ring steps s=1..B-1, shorter-way routed: peak link load
+                # per step is min(s, B-s) chunks.
+                load_units = sum(min(s, b - s) for s in range(1, b))
+                bank_s = transfer_time(
+                    load_units * chunk, bank_link.link_bandwidth_bytes_per_s
+                ) + load_units * bank_link.hop_latency_s
+            chip_s = 0.0
+            if c > 1:
+                per_step = transfer_time(
+                    b * b * chunk, chip_link.link_bandwidth_bytes_per_s
+                )
+                chip_s = (c - 1) * (per_step + 2 * chip_link.hop_latency_s)
+            rank_s = 0.0
+            if r > 1:
+                bus_bytes = n * payload * (r - 1) / r
+                bus_time = transfer_time(
+                    bus_bytes,
+                    rank_link.link_bandwidth_bytes_per_s
+                    * self.network.inter_rank_unicast_efficiency,
+                )
+                # Rank-crossing data also transits each chip's DQ pins.
+                port_bytes = b * (n / r) * chunk * (r - 1)
+                port_time = transfer_time(
+                    port_bytes, chip_link.link_bandwidth_bytes_per_s
+                )
+                rank_s = max(bus_time, port_time) + (
+                    r - 1
+                ) * 2 * rank_link.hop_latency_s
+            return TierTimes(bank_s, chip_s, rank_s, phases_present)
+
+        if pattern is Collective.BROADCAST:
+            bank_link = self.network.inter_bank
+            chip_link = self.network.inter_chip
+            rank_link = self.network.inter_rank
+            chip_s = 0.0
+            if c > 1:
+                chip_s = transfer_time(
+                    (c - 1) * payload, chip_link.link_bandwidth_bytes_per_s
+                ) + 2 * chip_link.hop_latency_s
+            rank_s = 0.0
+            if r > 1:
+                rank_s = transfer_time(
+                    c * payload, rank_link.link_bandwidth_bytes_per_s
+                ) + 2 * rank_link.hop_latency_s
+            bank_s = 0.0
+            if b > 1:
+                peak = ((b - 1) + 1) // 2 * payload
+                bank_s = transfer_time(
+                    peak, bank_link.link_bandwidth_bytes_per_s
+                ) + (b // 2) * bank_link.hop_latency_s
+            return TierTimes(bank_s, chip_s, rank_s, phases_present)
+
+        if pattern is Collective.REDUCE:
+            base = self._tier_times(
+                CollectiveRequest(
+                    Collective.REDUCE_SCATTER,
+                    request.payload_bytes,
+                    request.dtype,
+                    request.op,
+                )
+            )
+            # Funnel the scattered shards to the root bank.
+            funnel_bank = self._bank_ring_phase_s(payload)
+            funnel_chip = self._chip_ring_phase_s(payload)
+            funnel_rank = self._rank_ag_phase_s(payload * (self.ranks - 1) / max(1, self.ranks))
+            return TierTimes(
+                bank_s=base.bank_s + funnel_bank,
+                chip_s=base.chip_s + funnel_chip,
+                rank_s=base.rank_s + funnel_rank,
+                num_phases=base.num_phases * 2,
+            )
+
+        if pattern is Collective.GATHER:
+            bank_link = self.network.inter_bank
+            chip_link = self.network.inter_chip
+            rank_link = self.network.inter_rank
+            bank_s = transfer_time(
+                (n - 1) * payload, bank_link.link_bandwidth_bytes_per_s
+            ) if b > 1 else 0.0
+            chip_s = transfer_time(
+                n * payload * (c - 1) / c, chip_link.link_bandwidth_bytes_per_s
+            ) if c > 1 else 0.0
+            rank_s = transfer_time(
+                n * payload * (r - 1) / r, rank_link.link_bandwidth_bytes_per_s
+            ) if r > 1 else 0.0
+            return TierTimes(bank_s, chip_s, rank_s, phases_present)
+
+        raise BackendError(f"PIMnet has no timing model for {pattern}")
+
+    # -- staging / working-set model -----------------------------------------------
+    def _working_set_bytes(self, request: CollectiveRequest) -> float:
+        payload = request.payload_bytes
+        if request.pattern is Collective.ALL_TO_ALL:
+            return 2 * payload
+        if request.pattern is Collective.ALL_GATHER:
+            return payload * (1 + self.num_dpus)
+        if request.pattern is Collective.GATHER:
+            return payload * (1 + self.num_dpus)
+        return payload
+
+    # -- public interface ------------------------------------------------------------
+    def breakdown(self, request: CollectiveRequest) -> CommBreakdown:
+        """Full PIMnet communication-time breakdown for one collective."""
+        tiers = self._tier_times(request)
+        sync_s = self.sync_tree.phase_sync_time_s(max(1, tiers.num_phases))
+        mem_s = self._bank_memory.staging_time(
+            int(self._working_set_bytes(request))
+        )
+        return CommBreakdown(
+            inter_bank_s=tiers.bank_s,
+            inter_chip_s=tiers.chip_s,
+            inter_rank_s=tiers.rank_s,
+            sync_s=sync_s,
+            mem_s=mem_s,
+        )

@@ -1,0 +1,184 @@
+"""Functional interpreter for the mini DPU ISA.
+
+Executes a :class:`~repro.dpu.isa.Program` on one DPU with multiple
+tasklets sharing WRAM, round-robin issuing one instruction slot at a time
+— the same interleaving the real revolving pipeline performs.  The
+interpreter is the ground truth that the analytic compute model
+(:mod:`repro.dpu.compute`) is validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config.system import DpuConfig
+from ..errors import IsaError
+from ..memory.bank import BankMemory
+from .isa import Instruction, NUM_REGISTERS, Opcode, Program
+from .pipeline import PipelineModel
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+@dataclass
+class TaskletState:
+    """Architectural state of one tasklet."""
+
+    tasklet_id: int
+    pc: int = 0
+    halted: bool = False
+    registers: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_REGISTERS, dtype=np.uint32)
+    )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a kernel run on one DPU."""
+
+    issue_slots: int
+    cycles: float
+    time_s: float
+    instructions_retired: int
+
+
+class Dpu:
+    """One DPU: tasklets + WRAM + the pipeline timing model."""
+
+    def __init__(
+        self,
+        config: DpuConfig | None = None,
+        memory: BankMemory | None = None,
+    ) -> None:
+        self.config = config or DpuConfig()
+        self.memory = memory or BankMemory(self.config)
+        self.pipeline = PipelineModel(self.config)
+
+    # -- register/memory helpers ----------------------------------------------
+    def _load_word(self, address: int) -> int:
+        if address % 4 != 0:
+            raise IsaError(f"unaligned word load at {address}")
+        return int(
+            self.memory.wram.read_array(address, 1, np.uint32)[0]
+        )
+
+    def _store_word(self, address: int, value: int) -> None:
+        if address % 4 != 0:
+            raise IsaError(f"unaligned word store at {address}")
+        self.memory.wram.write_array(
+            address, np.array([value & _MASK32], dtype=np.uint32)
+        )
+
+    # -- execution ----------------------------------------------------------------
+    def _step(self, program: Program, state: TaskletState) -> int:
+        """Execute one instruction of ``state``; returns issue slots used."""
+        if state.pc >= len(program.instructions):
+            raise IsaError(
+                f"tasklet {state.tasklet_id} ran off the end of the kernel"
+            )
+        inst: Instruction = program.instructions[state.pc]
+        regs = state.registers
+        next_pc = state.pc + 1
+        op = inst.opcode
+
+        if op is Opcode.ADD:
+            regs[inst.rd] = (int(regs[inst.rs1]) + int(regs[inst.rs2])) & _MASK32
+        elif op is Opcode.ADDI:
+            regs[inst.rd] = (int(regs[inst.rs1]) + inst.imm) & _MASK32
+        elif op is Opcode.SUB:
+            regs[inst.rd] = (int(regs[inst.rs1]) - int(regs[inst.rs2])) & _MASK32
+        elif op is Opcode.MUL:
+            regs[inst.rd] = (int(regs[inst.rs1]) * int(regs[inst.rs2])) & _MASK32
+        elif op is Opcode.AND:
+            regs[inst.rd] = int(regs[inst.rs1]) & int(regs[inst.rs2])
+        elif op is Opcode.OR:
+            regs[inst.rd] = int(regs[inst.rs1]) | int(regs[inst.rs2])
+        elif op is Opcode.XOR:
+            regs[inst.rd] = int(regs[inst.rs1]) ^ int(regs[inst.rs2])
+        elif op is Opcode.SLL:
+            regs[inst.rd] = (int(regs[inst.rs1]) << (int(regs[inst.rs2]) & 31)) & _MASK32
+        elif op is Opcode.SRL:
+            regs[inst.rd] = (int(regs[inst.rs1]) & _MASK32) >> (int(regs[inst.rs2]) & 31)
+        elif op is Opcode.LW:
+            regs[inst.rd] = self._load_word(int(regs[inst.rs1]) + inst.imm)
+        elif op is Opcode.SW:
+            self._store_word(int(regs[inst.rs1]) + inst.imm, int(regs[inst.rs2]))
+        elif op is Opcode.BEQ:
+            if regs[inst.rs1] == regs[inst.rs2]:
+                next_pc = inst.imm
+        elif op is Opcode.BNE:
+            if regs[inst.rs1] != regs[inst.rs2]:
+                next_pc = inst.imm
+        elif op is Opcode.BLT:
+            if _signed(int(regs[inst.rs1])) < _signed(int(regs[inst.rs2])):
+                next_pc = inst.imm
+        elif op is Opcode.JUMP:
+            next_pc = inst.imm
+        elif op is Opcode.HALT:
+            state.halted = True
+        else:  # pragma: no cover - enum is exhaustive
+            raise IsaError(f"unimplemented opcode {op}")
+
+        state.pc = next_pc
+        return inst.issue_slots
+
+    def run(
+        self,
+        program: Program,
+        num_tasklets: int = 1,
+        init_registers: dict[int, dict[int, int]] | None = None,
+        max_instructions: int = 10_000_000,
+    ) -> RunResult:
+        """Run ``program`` to completion on ``num_tasklets`` tasklets.
+
+        ``init_registers`` maps tasklet id -> {register: value}; register 0
+        is additionally initialized to the tasklet id (the UPMEM ``me()``
+        convention) unless overridden.
+        """
+        if not 1 <= num_tasklets <= self.config.num_hw_tasklets:
+            raise IsaError(
+                f"tasklet count {num_tasklets} outside "
+                f"[1, {self.config.num_hw_tasklets}]"
+            )
+        if program._pending:
+            raise IsaError("program has unresolved branch labels")
+        states = []
+        for t in range(num_tasklets):
+            state = TaskletState(tasklet_id=t)
+            state.registers[0] = t
+            for reg, value in (init_registers or {}).get(t, {}).items():
+                state.registers[reg] = value & _MASK32
+            states.append(state)
+
+        slots = 0
+        retired = 0
+        while any(not s.halted for s in states):
+            progressed = False
+            for state in states:
+                if state.halted:
+                    continue
+                slots += self._step(program, state)
+                retired += 1
+                progressed = True
+                if retired > max_instructions:
+                    raise IsaError(
+                        "kernel exceeded max_instructions; likely an "
+                        "infinite loop"
+                    )
+            if not progressed:  # pragma: no cover - defensive
+                break
+
+        cycles = self.pipeline.cycles_for_slots(slots, num_tasklets)
+        return RunResult(
+            issue_slots=slots,
+            cycles=cycles,
+            time_s=cycles * self.config.cycle_time_s,
+            instructions_retired=retired,
+        )

@@ -1,0 +1,114 @@
+"""A small RISC instruction set for the functional DPU interpreter.
+
+This is not a bit-exact UPMEM ISA; it is a minimal 32-bit register ISA
+with the same *cost structure* (single-issue, software-emulated multiply)
+used to ground the phase-level compute model: kernels written against it
+execute functionally on WRAM and report issue-slot counts that feed the
+pipeline timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import IsaError
+
+NUM_REGISTERS = 24
+
+
+class Opcode(Enum):
+    """Instruction opcodes understood by :class:`~repro.dpu.interpreter.Dpu`."""
+
+    ADD = "add"        # rd = rs1 + rs2
+    ADDI = "addi"      # rd = rs1 + imm
+    SUB = "sub"        # rd = rs1 - rs2
+    MUL = "mul"        # rd = rs1 * rs2 (software-emulated, multi-slot)
+    AND = "and"        # rd = rs1 & rs2
+    OR = "or"          # rd = rs1 | rs2
+    XOR = "xor"        # rd = rs1 ^ rs2
+    SLL = "sll"        # rd = rs1 << (rs2 & 31)
+    SRL = "srl"        # rd = rs1 >> (rs2 & 31) logical
+    LW = "lw"          # rd = wram[rs1 + imm]
+    SW = "sw"          # wram[rs1 + imm] = rs2
+    BEQ = "beq"        # if rs1 == rs2: pc = imm
+    BNE = "bne"        # if rs1 != rs2: pc = imm
+    BLT = "blt"        # if rs1 <  rs2 (signed): pc = imm
+    JUMP = "jump"      # pc = imm
+    HALT = "halt"      # stop this tasklet
+
+
+#: Extra issue slots charged beyond the first for multi-cycle (emulated)
+#: instructions.  MUL matches the UPMEM shift-add emulation cost.
+EXTRA_SLOTS: dict[Opcode, int] = {Opcode.MUL: 31}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction. Unused fields stay at their defaults."""
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if not 0 <= reg < NUM_REGISTERS:
+                raise IsaError(
+                    f"{self.opcode.value}: register {name}={reg} out of range"
+                )
+
+    @property
+    def issue_slots(self) -> int:
+        """Pipeline issue slots this instruction occupies."""
+        return 1 + EXTRA_SLOTS.get(self.opcode, 0)
+
+
+@dataclass
+class Program:
+    """A kernel: a flat instruction list with optional labels.
+
+    Labels are resolved at append time: ``label()`` marks the next
+    instruction's index and branch ``imm`` fields may be patched through
+    :meth:`resolve`.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    _pending: list[tuple[int, str]] = field(default_factory=list)
+
+    def emit(self, instruction: Instruction) -> int:
+        """Append an instruction; returns its index."""
+        self.instructions.append(instruction)
+        return len(self.instructions) - 1
+
+    def label(self, name: str) -> None:
+        """Bind ``name`` to the index of the next emitted instruction."""
+        if name in self.labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def branch_to(self, opcode: Opcode, label: str, rs1: int = 0, rs2: int = 0) -> int:
+        """Emit a branch/jump whose target label may not exist yet."""
+        index = self.emit(Instruction(opcode, rs1=rs1, rs2=rs2, imm=0))
+        self._pending.append((index, label))
+        return index
+
+    def resolve(self) -> "Program":
+        """Patch all pending branch targets; returns self for chaining."""
+        for index, label in self._pending:
+            if label not in self.labels:
+                raise IsaError(f"undefined label {label!r}")
+            old = self.instructions[index]
+            self.instructions[index] = Instruction(
+                old.opcode, rd=old.rd, rs1=old.rs1, rs2=old.rs2,
+                imm=self.labels[label],
+            )
+        self._pending.clear()
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)

@@ -1,0 +1,102 @@
+"""Reference kernels for the mini DPU ISA.
+
+Each builder returns a resolved :class:`~repro.dpu.isa.Program` plus the
+WRAM layout conventions it expects.  They are deliberately simple — the
+point is to ground the analytic compute model and exercise the
+interpreter, WRAM, and tasklet partitioning end to end.
+
+Register conventions (per tasklet):
+  r0  tasklet id (set by the interpreter)
+  r1  number of tasklets (caller-initialized)
+  r2  element count n (caller-initialized)
+  r3+ scratch
+"""
+
+from __future__ import annotations
+
+from .isa import Instruction, Opcode, Program
+
+
+def vector_add_kernel(
+    a_base: int, b_base: int, out_base: int
+) -> Program:
+    """out[i] = a[i] + b[i], elements strided across tasklets.
+
+    Each tasklet handles elements ``i = tid, tid + T, tid + 2T, ...`` for
+    ``i < n``; all addresses are word (4-byte) indexed WRAM offsets.
+    """
+    p = Program()
+    # r3 = i (element index), starts at tid (r0)
+    p.emit(Instruction(Opcode.ADDI, rd=3, rs1=0, imm=0))
+    p.label("loop")
+    # if n <= i: done   (i.e. not (i < n))
+    p.branch_to(Opcode.BLT, "body", rs1=3, rs2=2)
+    p.branch_to(Opcode.JUMP, "done")
+    p.label("body")
+    # r4 = i * 4 (byte offset) via two shifts-as-adds
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=3, rs2=3))   # 2i
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=4, rs2=4))   # 4i
+    p.emit(Instruction(Opcode.LW, rd=5, rs1=4, imm=a_base))
+    p.emit(Instruction(Opcode.LW, rd=6, rs1=4, imm=b_base))
+    p.emit(Instruction(Opcode.ADD, rd=7, rs1=5, rs2=6))
+    p.emit(Instruction(Opcode.SW, rs1=4, rs2=7, imm=out_base))
+    # i += T
+    p.emit(Instruction(Opcode.ADD, rd=3, rs1=3, rs2=1))
+    p.branch_to(Opcode.JUMP, "loop")
+    p.label("done")
+    p.emit(Instruction(Opcode.HALT))
+    return p.resolve()
+
+
+def vector_scale_kernel(
+    a_base: int, out_base: int, scale_reg: int = 8
+) -> Program:
+    """out[i] = a[i] * scale, exercising the emulated multiply.
+
+    The caller initializes ``scale_reg`` with the scale factor.
+    """
+    p = Program()
+    p.emit(Instruction(Opcode.ADDI, rd=3, rs1=0, imm=0))
+    p.label("loop")
+    p.branch_to(Opcode.BLT, "body", rs1=3, rs2=2)
+    p.branch_to(Opcode.JUMP, "done")
+    p.label("body")
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=3, rs2=3))
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=4, rs2=4))
+    p.emit(Instruction(Opcode.LW, rd=5, rs1=4, imm=a_base))
+    p.emit(Instruction(Opcode.MUL, rd=7, rs1=5, rs2=scale_reg))
+    p.emit(Instruction(Opcode.SW, rs1=4, rs2=7, imm=out_base))
+    p.emit(Instruction(Opcode.ADD, rd=3, rs1=3, rs2=1))
+    p.branch_to(Opcode.JUMP, "loop")
+    p.label("done")
+    p.emit(Instruction(Opcode.HALT))
+    return p.resolve()
+
+
+def reduce_sum_kernel(a_base: int, out_base: int) -> Program:
+    """Per-tasklet partial sums: out[tid] = sum of a[i] for the tid stripe.
+
+    The host (or a follow-up tasklet-0 pass) combines the per-tasklet
+    partials — exactly the structure UPMEM reduction kernels use before a
+    cross-DPU collective.
+    """
+    p = Program()
+    p.emit(Instruction(Opcode.ADDI, rd=3, rs1=0, imm=0))   # i = tid
+    p.emit(Instruction(Opcode.XOR, rd=9, rs1=9, rs2=9))    # acc = 0
+    p.label("loop")
+    p.branch_to(Opcode.BLT, "body", rs1=3, rs2=2)
+    p.branch_to(Opcode.JUMP, "done")
+    p.label("body")
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=3, rs2=3))
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=4, rs2=4))
+    p.emit(Instruction(Opcode.LW, rd=5, rs1=4, imm=a_base))
+    p.emit(Instruction(Opcode.ADD, rd=9, rs1=9, rs2=5))
+    p.emit(Instruction(Opcode.ADD, rd=3, rs1=3, rs2=1))
+    p.branch_to(Opcode.JUMP, "loop")
+    p.label("done")
+    # out[tid] = acc
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=0, rs2=0))    # 2*tid
+    p.emit(Instruction(Opcode.ADD, rd=4, rs1=4, rs2=4))    # 4*tid
+    p.emit(Instruction(Opcode.SW, rs1=4, rs2=9, imm=out_base))
+    p.emit(Instruction(Opcode.HALT))
+    return p.resolve()

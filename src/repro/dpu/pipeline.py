@@ -1,0 +1,60 @@
+"""Timing model of the UPMEM revolving pipeline.
+
+The DPU is a fine-grained multithreaded in-order core: each cycle it may
+issue one instruction, but consecutive instructions of the *same* tasklet
+must be at least ``pipeline_depth - 3`` (= 11 on UPMEM) cycles apart.
+With >= 11 resident tasklets the pipeline is fully packed (1 IPC); with
+fewer, throughput degrades to ``tasklets / 11`` of peak.  This is the
+behaviour measured on real hardware by [39] and reproduced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.system import DpuConfig
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Issue-slot to cycle conversion for one DPU."""
+
+    config: DpuConfig
+
+    @property
+    def revolver_period(self) -> int:
+        """Minimum cycles between two issues of the same tasklet."""
+        return max(1, self.config.pipeline_depth - 3)
+
+    def effective_ipc(self, num_tasklets: int) -> float:
+        """Sustained instructions per cycle with ``num_tasklets`` resident."""
+        if num_tasklets < 1:
+            raise SimulationError("need at least one tasklet")
+        if num_tasklets > self.config.num_hw_tasklets:
+            raise SimulationError(
+                f"{num_tasklets} tasklets exceed the "
+                f"{self.config.num_hw_tasklets} hardware contexts"
+            )
+        return min(1.0, num_tasklets / self.revolver_period)
+
+    def cycles_for_slots(self, issue_slots: float, num_tasklets: int) -> float:
+        """Cycles to retire ``issue_slots`` total slots across tasklets.
+
+        ``issue_slots`` is the *sum* over tasklets; the revolving pipeline
+        interleaves them, so the bound is slots / effective-IPC, plus one
+        pipeline fill.
+        """
+        if issue_slots < 0:
+            raise SimulationError("issue slots must be >= 0")
+        if issue_slots == 0:
+            return 0.0
+        ipc = self.effective_ipc(num_tasklets)
+        return issue_slots / ipc + self.config.pipeline_depth
+
+    def time_for_slots(self, issue_slots: float, num_tasklets: int) -> float:
+        """Wall-clock seconds to retire ``issue_slots`` slots."""
+        return (
+            self.cycles_for_slots(issue_slots, num_tasklets)
+            * self.config.cycle_time_s
+        )

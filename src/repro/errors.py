@@ -1,0 +1,47 @@
+"""Exception hierarchy for the PIMnet reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system, network, or workload configuration is invalid."""
+
+
+class TopologyError(ReproError):
+    """A coordinate or neighbor computation fell outside the topology."""
+
+
+class ScheduleError(ReproError):
+    """A static communication schedule is infeasible or inconsistent."""
+
+
+class CollectiveError(ReproError):
+    """A collective operation was invoked with invalid arguments."""
+
+
+class BackendError(ReproError):
+    """A communication backend cannot execute the requested collective."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event or cycle-level simulation reached a bad state."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured or partitioned inconsistently."""
+
+
+class MemoryModelError(ReproError):
+    """A memory access or DMA transfer violated the memory model."""
+
+
+class IsaError(ReproError):
+    """The DPU ISA interpreter hit an illegal instruction or operand."""

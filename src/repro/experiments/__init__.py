@@ -1,0 +1,71 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every module exposes ``run(...) -> result`` and ``format_table(result)
+-> str`` printing the paper-shaped rows; the benchmark suite calls both.
+"""
+
+from . import (
+    ablations,
+    characterization,
+    fig02_roofline,
+    fig03_motivation,
+    fig10_applications,
+    fig11_comm_breakdown,
+    fig12_collective_scaling,
+    fig13_flow_control,
+    fig14_bandwidth_sweep,
+    fig15_alt_pim,
+    fig16_multichannel,
+    fig17_multitenancy,
+    hw_overhead,
+    message_size_sweep,
+    noc_load_latency,
+    table04_tiers,
+    table05_algorithms,
+)
+from .common import ExperimentTable, SCALING_DPU_COUNTS, scaled_machine
+
+#: Registry: experiment id -> module (each with run/format_table).
+EXPERIMENTS = {
+    "fig02": fig02_roofline,
+    "fig03": fig03_motivation,
+    "table04": table04_tiers,
+    "table05": table05_algorithms,
+    "fig10": fig10_applications,
+    "fig11": fig11_comm_breakdown,
+    "fig12": fig12_collective_scaling,
+    "fig13": fig13_flow_control,
+    "fig14": fig14_bandwidth_sweep,
+    "fig15": fig15_alt_pim,
+    "fig16": fig16_multichannel,
+    "fig17": fig17_multitenancy,
+    "hw_overhead": hw_overhead,
+    "ablations": ablations,
+    "size_sweep": message_size_sweep,
+    "characterization": characterization,
+    "noc_load_latency": noc_load_latency,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ablations",
+    "characterization",
+    "noc_load_latency",
+    "ExperimentTable",
+    "SCALING_DPU_COUNTS",
+    "scaled_machine",
+    "fig02_roofline",
+    "fig03_motivation",
+    "fig10_applications",
+    "fig11_comm_breakdown",
+    "fig12_collective_scaling",
+    "fig13_flow_control",
+    "fig14_bandwidth_sweep",
+    "fig15_alt_pim",
+    "fig16_multichannel",
+    "fig17_multitenancy",
+    "hw_overhead",
+    "message_size_sweep",
+    "table04_tiers",
+    "table05_algorithms",
+]

@@ -1,0 +1,85 @@
+"""Host-link characterization (the Section III context of Table VI).
+
+Reproduces the shape of the real-UPMEM transfer measurements the paper
+builds on [39]: effective host<->PIM bandwidth as a function of transfer
+size (fixed per-call overheads crush small transfers) and of access
+pattern (chip-transposition costs for per-DPU collective buffers vs
+optimized bulk transfers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.host_baseline import HostBaselineBackend
+from ..config.presets import MachineConfig
+from ..memory.channel import DdrChannel
+from .common import ExperimentTable, default_machine
+
+TRANSFER_SIZES = tuple(4 * 1024 * (4 ** e) for e in range(7))  # 4KiB..16MiB
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    sizes: tuple[int, ...]
+    #: effective GB/s per direction per size
+    gather_gbs: tuple[float, ...]
+    scatter_gbs: tuple[float, ...]
+    broadcast_gbs: tuple[float, ...]
+    peak_gather_gbs: float
+    transposed_gather_gbs: float
+
+
+def run(machine: MachineConfig | None = None) -> CharacterizationResult:
+    machine = machine or default_machine()
+    channel = DdrChannel(machine.host_links, machine.host)
+    ranks = machine.system.ranks_per_channel
+    gather, scatter, broadcast = [], [], []
+    for size in TRANSFER_SIZES:
+        gather.append(
+            size / channel.pim_to_cpu(size, ranks).time_s / 1e9
+        )
+        scatter.append(
+            size / channel.cpu_to_pim(size, ranks).time_s / 1e9
+        )
+        broadcast.append(
+            size / channel.cpu_to_pim_broadcast(size, ranks).time_s / 1e9
+        )
+    peak = machine.host_links.pim_to_cpu_bytes_per_s / 1e9
+    transposed = peak * HostBaselineBackend.transpose_efficiency
+    return CharacterizationResult(
+        sizes=TRANSFER_SIZES,
+        gather_gbs=tuple(gather),
+        scatter_gbs=tuple(scatter),
+        broadcast_gbs=tuple(broadcast),
+        peak_gather_gbs=peak,
+        transposed_gather_gbs=transposed,
+    )
+
+
+def format_table(result: CharacterizationResult) -> str:
+    rows = tuple(
+        (
+            f"{size // 1024} KiB",
+            f"{g:.2f}",
+            f"{s:.2f}",
+            f"{b:.2f}",
+        )
+        for size, g, s, b in zip(
+            result.sizes,
+            result.gather_gbs,
+            result.scatter_gbs,
+            result.broadcast_gbs,
+        )
+    )
+    return ExperimentTable(
+        "Host-link characterization",
+        "Effective host<->PIM bandwidth vs transfer size (GB/s)",
+        ("size", "PIM->CPU", "CPU->PIM", "CPU->PIM bcast"),
+        rows,
+        notes=(
+            f"asymptotes: {result.peak_gather_gbs:.2f} GB/s bulk gather "
+            f"(paper: 4.74), {result.transposed_gather_gbs:.2f} GB/s for "
+            "per-DPU collective buffers (chip transposition)"
+        ),
+    ).format()

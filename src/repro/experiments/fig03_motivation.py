@@ -1,0 +1,98 @@
+"""Fig 3: collective-communication scalability of PIM implementations.
+
+Weak scaling: the per-DPU message stays at 32 KB while the system grows
+from 8 to 256 DPUs; performance is relative *throughput* (total payload
+over time) normalized to the baseline system at 8 DPUs, matching the
+figure's normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.backend import registry
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig
+from .common import (
+    ExperimentTable,
+    SCALING_DPU_COUNTS,
+    default_machine,
+    scaled_machine,
+)
+
+BACKENDS = ("B", "S", "P")
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    pattern: Collective
+    dpu_counts: tuple[int, ...]
+    payload_bytes: int
+    #: times_s[backend][i] = collective time at dpu_counts[i]
+    times_s: dict[str, tuple[float, ...]]
+
+    def normalized_throughput(self) -> dict[str, tuple[float, ...]]:
+        """Relative throughput, normalized to baseline at 8 DPUs."""
+        base = self.times_s["B"][0] / self.dpu_counts[0]
+        out: dict[str, tuple[float, ...]] = {}
+        for key, times in self.times_s.items():
+            out[key] = tuple(
+                (n / t) * base
+                for n, t in zip(self.dpu_counts, times)
+            )
+        return out
+
+
+def run(
+    pattern: Collective = Collective.ALL_REDUCE,
+    machine: MachineConfig | None = None,
+    payload_bytes: int = 32 * 1024,
+    backends: tuple[str, ...] = BACKENDS,
+) -> ScalabilityResult:
+    machine = machine or default_machine()
+    times: dict[str, list[float]] = {k: [] for k in backends}
+    for n in SCALING_DPU_COUNTS:
+        m = scaled_machine(machine, n)
+        request = CollectiveRequest(
+            pattern, payload_bytes, dtype=np.dtype(np.int64)
+        )
+        for key in backends:
+            backend = registry.create(key, m)
+            times[key].append(backend.timing(request).total_s)
+    return ScalabilityResult(
+        pattern=pattern,
+        dpu_counts=SCALING_DPU_COUNTS,
+        payload_bytes=payload_bytes,
+        times_s={k: tuple(v) for k, v in times.items()},
+    )
+
+
+def run_both(
+    machine: MachineConfig | None = None,
+) -> tuple[ScalabilityResult, ScalabilityResult]:
+    """(AllReduce, All-to-All) sweeps — the two panels of Fig 3."""
+    return (
+        run(Collective.ALL_REDUCE, machine),
+        run(Collective.ALL_TO_ALL, machine),
+    )
+
+
+def format_table(result: ScalabilityResult) -> str:
+    rel = result.normalized_throughput()
+    rows = []
+    for i, n in enumerate(result.dpu_counts):
+        rows.append(
+            (n,)
+            + tuple(f"{rel[k][i]:.2f}" for k in result.times_s)
+        )
+    panel = "a" if result.pattern is Collective.ALL_REDUCE else "b"
+    return ExperimentTable(
+        f"Fig 3{panel}",
+        f"{result.pattern.value} weak-scaling throughput "
+        "(normalized to Baseline @ 8 DPUs)",
+        ("DPUs",) + tuple(result.times_s),
+        tuple(rows),
+        notes=f"per-DPU payload {result.payload_bytes // 1024} KB",
+    ).format()

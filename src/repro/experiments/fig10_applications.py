@@ -1,0 +1,69 @@
+"""Fig 10: application performance across the five implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.presets import MachineConfig
+from ..workloads import compare_backends, paper_workloads
+from ..workloads.base import AppResult
+from .common import ExperimentTable, default_machine
+
+BACKEND_ORDER = ("B", "S", "N", "D", "P")
+
+
+@dataclass(frozen=True)
+class ApplicationsResult:
+    #: results[workload][backend] = AppResult
+    results: dict[str, dict[str, AppResult]]
+
+    def speedup(self, workload: str, backend: str = "P") -> float:
+        group = self.results[workload]
+        return group[backend].speedup_over(group["B"])
+
+    def max_speedup(self) -> tuple[str, float]:
+        best = max(
+            self.results, key=lambda w: self.speedup(w)
+        )
+        return best, self.speedup(best)
+
+
+def run(
+    machine: MachineConfig | None = None,
+    workload_names: tuple[str, ...] | None = None,
+) -> ApplicationsResult:
+    machine = machine or default_machine()
+    workloads = paper_workloads()
+    if workload_names is not None:
+        workloads = {
+            k: v for k, v in workloads.items() if k in workload_names
+        }
+    results = {
+        name: compare_backends(wl, machine, list(BACKEND_ORDER))
+        for name, wl in workloads.items()
+    }
+    return ApplicationsResult(results=results)
+
+
+def format_table(result: ApplicationsResult) -> str:
+    rows = []
+    for name, group in result.results.items():
+        base = group["B"]
+        speedups = tuple(
+            f"{group[k].speedup_over(base):.2f}" if k in group else "-"
+            for k in BACKEND_ORDER
+        )
+        rows.append(
+            (name, f"{100 * base.comm_fraction:.0f}%") + speedups
+        )
+    best, value = result.max_speedup()
+    return ExperimentTable(
+        "Fig 10",
+        "Application speedup over Baseline PIM",
+        ("workload", "comm% (B)") + BACKEND_ORDER,
+        tuple(rows),
+        notes=(
+            f"best PIMnet speedup: {best} at {value:.1f}x "
+            "(paper: up to 11.8x on real applications)"
+        ),
+    ).format()

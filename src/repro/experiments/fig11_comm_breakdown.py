@@ -1,0 +1,85 @@
+"""Fig 11: PIM-communication time breakdown and speedup vs prior work.
+
+For each workload: PIMnet's communication time split into inter-bank /
+inter-chip / inter-rank / Sync / Mem, plus the communication-only
+speedup over DIMM-Link (or NDPBridge for the All-to-All workloads NTT
+and Join, which DIMM-Link's reduction-centric buffer chips would handle
+the same way the paper normalizes them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.breakdown import comm_percentages
+from ..collectives.result import CommBreakdown
+from ..config.presets import MachineConfig
+from ..workloads import compare_backends, paper_workloads
+from .common import ExperimentTable, default_machine
+
+#: The paper normalizes NTT and Join to NDPBridge, everything else to
+#: DIMM-Link.
+A2A_WORKLOADS = frozenset({"NTT", "Join"})
+
+
+@dataclass(frozen=True)
+class CommBreakdownEntry:
+    workload: str
+    pimnet: CommBreakdown
+    reference_backend: str
+    comm_speedup: float
+
+
+@dataclass(frozen=True)
+class CommBreakdownResult:
+    entries: tuple[CommBreakdownEntry, ...]
+
+
+def run(machine: MachineConfig | None = None) -> CommBreakdownResult:
+    machine = machine or default_machine()
+    entries = []
+    for name, workload in paper_workloads().items():
+        results = compare_backends(
+            workload, machine, ["N", "D", "P"]
+        )
+        reference = "N" if name in A2A_WORKLOADS and "N" in results else "D"
+        pimnet = results["P"]
+        ref = results[reference]
+        entries.append(
+            CommBreakdownEntry(
+                workload=name,
+                pimnet=pimnet.comm,
+                reference_backend=reference,
+                comm_speedup=ref.comm_s / pimnet.comm_s
+                if pimnet.comm_s > 0
+                else float("inf"),
+            )
+        )
+    return CommBreakdownResult(entries=tuple(entries))
+
+
+def format_table(result: CommBreakdownResult) -> str:
+    rows = []
+    for e in result.entries:
+        parts = comm_percentages(e.pimnet)
+        rows.append(
+            (
+                e.workload,
+                f"{e.pimnet.total_s * 1e6:.1f}",
+                f"{parts['Inter-bank']:.0f}%",
+                f"{parts['Inter-chip']:.0f}%",
+                f"{parts['Inter-rank']:.0f}%",
+                f"{parts['Sync']:.0f}%",
+                f"{parts['Mem']:.0f}%",
+                f"{e.comm_speedup:.1f}x vs {e.reference_backend}",
+            )
+        )
+    return ExperimentTable(
+        "Fig 11",
+        "PIMnet communication breakdown and comm-only speedup",
+        (
+            "workload", "comm us", "bank", "chip", "rank", "sync", "mem",
+            "speedup",
+        ),
+        tuple(rows),
+    ).format()

@@ -1,0 +1,85 @@
+"""Fig 12: collective scalability of all five implementations.
+
+Weak scaling 8-256 DPUs with 32 KB per-DPU messages; each point is the
+*speedup over the baseline at the same DPU count* (the paper's
+normalization).  NDPBridge appears only in the All-to-All panel (no
+AllReduce support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.backend import registry
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig
+from .common import (
+    ExperimentTable,
+    SCALING_DPU_COUNTS,
+    default_machine,
+    scaled_machine,
+)
+
+
+@dataclass(frozen=True)
+class CollectiveScalingResult:
+    pattern: Collective
+    dpu_counts: tuple[int, ...]
+    payload_bytes: int
+    #: speedups[backend][i] = time_B / time_backend at dpu_counts[i]
+    speedups: dict[str, tuple[float, ...]]
+
+
+def run(
+    pattern: Collective = Collective.ALL_REDUCE,
+    machine: MachineConfig | None = None,
+    payload_bytes: int = 32 * 1024,
+) -> CollectiveScalingResult:
+    machine = machine or default_machine()
+    backends = ["S", "D", "P"]
+    if pattern is Collective.ALL_TO_ALL:
+        backends.insert(1, "N")
+    speedups: dict[str, list[float]] = {k: [] for k in backends}
+    for n in SCALING_DPU_COUNTS:
+        m = scaled_machine(machine, n)
+        request = CollectiveRequest(
+            pattern, payload_bytes, dtype=np.dtype(np.int64)
+        )
+        base = registry.create("B", m).timing(request).total_s
+        for key in backends:
+            t = registry.create(key, m).timing(request).total_s
+            speedups[key].append(base / t)
+    return CollectiveScalingResult(
+        pattern=pattern,
+        dpu_counts=SCALING_DPU_COUNTS,
+        payload_bytes=payload_bytes,
+        speedups={k: tuple(v) for k, v in speedups.items()},
+    )
+
+
+def run_both(
+    machine: MachineConfig | None = None,
+) -> tuple[CollectiveScalingResult, CollectiveScalingResult]:
+    return (
+        run(Collective.ALL_REDUCE, machine),
+        run(Collective.ALL_TO_ALL, machine),
+    )
+
+
+def format_table(result: CollectiveScalingResult) -> str:
+    rows = []
+    for i, n in enumerate(result.dpu_counts):
+        rows.append(
+            (n,)
+            + tuple(f"{result.speedups[k][i]:.2f}" for k in result.speedups)
+        )
+    panel = "a" if result.pattern is Collective.ALL_REDUCE else "b"
+    return ExperimentTable(
+        f"Fig 12{panel}",
+        f"{result.pattern.value} speedup over Baseline at each DPU count",
+        ("DPUs",) + tuple(result.speedups),
+        tuple(rows),
+        notes=f"weak scaling, {result.payload_bytes // 1024} KB per DPU",
+    ).format()

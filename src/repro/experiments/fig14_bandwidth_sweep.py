@@ -1,0 +1,96 @@
+"""Fig 14: AllReduce performance over PIMnet channel-bandwidth sweeps.
+
+(a) inter-bank channel bandwidth 0.1-1.0 GB/s (DIMM-Link as reference);
+(b) inter-chip/inter-rank (global) bandwidth scaled around the default
+with the inter-bank bandwidth fixed at 0.7 GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..collectives.backend import registry
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig
+from .common import ExperimentTable, default_machine
+
+INTER_BANK_SWEEP_GBS = (0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
+GLOBAL_SCALE_SWEEP = (0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class BandwidthSweepResult:
+    payload_bytes: int
+    dimm_link_time_s: float
+    #: (bandwidth GB/s, PIMnet AllReduce time, speedup vs DIMM-Link)
+    inter_bank: tuple[tuple[float, float, float], ...]
+    #: (global scale, PIMnet AllReduce time, speedup vs DIMM-Link)
+    global_bw: tuple[tuple[float, float, float], ...]
+
+    def min_interbank_speedup(self) -> float:
+        return min(row[2] for row in self.inter_bank)
+
+
+def run(
+    machine: MachineConfig | None = None,
+    payload_bytes: int = 32 * 1024,
+) -> BandwidthSweepResult:
+    machine = machine or default_machine()
+    request = CollectiveRequest(
+        Collective.ALL_REDUCE, payload_bytes, dtype=np.dtype(np.int64)
+    )
+    dimm_link = registry.create("D", machine).timing(request).total_s
+
+    inter_bank = []
+    for gbs in INTER_BANK_SWEEP_GBS:
+        m = replace(
+            machine, pimnet=machine.pimnet.with_inter_bank_bandwidth(gbs)
+        )
+        t = registry.create("P", m).timing(request).total_s
+        inter_bank.append((gbs, t, dimm_link / t))
+
+    global_bw = []
+    for scale in GLOBAL_SCALE_SWEEP:
+        m = replace(
+            machine, pimnet=machine.pimnet.with_global_bandwidth_scale(scale)
+        )
+        t = registry.create("P", m).timing(request).total_s
+        global_bw.append((scale, t, dimm_link / t))
+
+    return BandwidthSweepResult(
+        payload_bytes=payload_bytes,
+        dimm_link_time_s=dimm_link,
+        inter_bank=tuple(inter_bank),
+        global_bw=tuple(global_bw),
+    )
+
+
+def format_table(result: BandwidthSweepResult) -> str:
+    rows_a = tuple(
+        (f"{gbs:.1f}", f"{t * 1e6:.1f}", f"{s:.1f}x")
+        for gbs, t, s in result.inter_bank
+    )
+    table_a = ExperimentTable(
+        "Fig 14a",
+        "AllReduce vs inter-bank channel bandwidth",
+        ("inter-bank GB/s", "PIMnet us", "speedup vs DIMM-Link"),
+        rows_a,
+        notes=(
+            f"DIMM-Link = {result.dimm_link_time_s * 1e6:.1f} us; paper: "
+            ">=3x even at 0.1 GB/s (bandwidth parallelism)"
+        ),
+    )
+    rows_b = tuple(
+        (f"{scale:.2f}x", f"{t * 1e6:.1f}", f"{s:.1f}x")
+        for scale, t, s in result.global_bw
+    )
+    table_b = ExperimentTable(
+        "Fig 14b",
+        "AllReduce vs inter-chip/inter-rank bandwidth scale",
+        ("global BW scale", "PIMnet us", "speedup vs DIMM-Link"),
+        rows_b,
+        notes="inter-bank fixed at 0.7 GB/s",
+    )
+    return table_a.format() + "\n\n" + table_b.format()

@@ -1,0 +1,62 @@
+"""Fig 15: PIMnet benefit under alternative PIM compute throughputs.
+
+MLP and NTT (the two most compute-bound workloads) rerun with the
+compute profiles of HBM-PIM and GDDR6-AiM (hardware MACs, 64x and 180x
+the UPMEM arithmetic throughput): as compute shrinks, communication
+dominates and PIMnet's advantage grows — the paper reports MLP moving
+from 1.3x to ~40x under GDDR6-AiM-class compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config.compute import ALT_PIM_PROFILES
+from ..config.presets import MachineConfig
+from ..workloads import MlpWorkload, NttWorkload, compare_backends
+from .common import ExperimentTable, default_machine
+
+PROFILES = ("UPMEM", "HBM-PIM", "GDDR6-AiM")
+
+
+@dataclass(frozen=True)
+class AltPimResult:
+    #: speedups[workload][profile] = PIMnet speedup over baseline
+    speedups: dict[str, dict[str, float]]
+
+    def gain(self, workload: str) -> float:
+        """How much the PIMnet benefit grows from UPMEM to GDDR6-AiM."""
+        row = self.speedups[workload]
+        return row["GDDR6-AiM"] / row["UPMEM"]
+
+
+def run(machine: MachineConfig | None = None) -> AltPimResult:
+    machine = machine or default_machine()
+    workloads = {"MLP": MlpWorkload(), "NTT": NttWorkload()}
+    speedups: dict[str, dict[str, float]] = {}
+    for name, workload in workloads.items():
+        speedups[name] = {}
+        for profile_name in PROFILES:
+            m = replace(machine, compute=ALT_PIM_PROFILES[profile_name])
+            results = compare_backends(workload, m, ["B", "P"])
+            speedups[name][profile_name] = results["P"].speedup_over(
+                results["B"]
+            )
+    return AltPimResult(speedups=speedups)
+
+
+def format_table(result: AltPimResult) -> str:
+    rows = []
+    for name, row in result.speedups.items():
+        rows.append(
+            (name,)
+            + tuple(f"{row[p]:.2f}x" for p in PROFILES)
+            + (f"{result.gain(name):.1f}x",)
+        )
+    return ExperimentTable(
+        "Fig 15",
+        "PIMnet speedup over Baseline with alternative PIM compute",
+        ("workload",) + PROFILES + ("benefit growth",),
+        tuple(rows),
+        notes="paper: MLP benefit grows to ~40x with GDDR6-AiM compute",
+    ).format()

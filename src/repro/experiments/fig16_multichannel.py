@@ -1,0 +1,99 @@
+"""Fig 16: embedding-lookup performance with memory-channel scaling.
+
+PIMnet's scope is one memory channel, so cross-channel combination still
+crosses the host — but after a channel-wise PIMnet reduction only one
+payload per channel reaches the CPU, while the baseline hauls every
+DPU's partials up.  The host term therefore grows ~K times faster for
+the baseline, and PIMnet's relative benefit increases with channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig
+from ..config.units import transfer_time
+from ..errors import ReproError
+from ..workloads import emb_synth
+from ..workloads.base import CommPhase, ExecutionEngine
+from .common import ExperimentTable, default_machine
+
+CHANNEL_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class MultiChannelResult:
+    channel_counts: tuple[int, ...]
+    baseline_s: tuple[float, ...]
+    pimnet_s: tuple[float, ...]
+
+    def speedups(self) -> tuple[float, ...]:
+        return tuple(
+            b / p for b, p in zip(self.baseline_s, self.pimnet_s)
+        )
+
+
+def _workload_payload_bytes(machine: MachineConfig) -> int:
+    for phase in emb_synth().phases(machine):
+        if isinstance(phase, CommPhase):
+            if phase.request.pattern is not Collective.REDUCE_SCATTER:
+                raise ReproError("EMB should communicate with RS")
+            return phase.request.payload_bytes
+    raise ReproError("EMB workload has no communication phase")
+
+
+def run(machine: MachineConfig | None = None) -> MultiChannelResult:
+    machine = machine or default_machine()
+    workload = emb_synth()
+    payload = _workload_payload_bytes(machine)
+    n = machine.system.banks_per_channel
+    links = machine.host_links
+    reduce_bw = machine.host.reduce_bandwidth_bytes_per_s
+
+    base_b = ExecutionEngine(machine, "B").run(workload).total_s
+    base_p = ExecutionEngine(machine, "P").run(workload).total_s
+
+    baseline_times = []
+    pimnet_times = []
+    for k in CHANNEL_COUNTS:
+        # Baseline: per-channel gathers run on parallel buses; the host
+        # reduction must chew through every channel's N partials.
+        extra_host_reduce = (k - 1) * n * payload / reduce_bw
+        baseline_times.append(base_b + extra_host_reduce)
+        # PIMnet: per-channel reduction on the fabric; the host only
+        # combines one payload per channel.
+        cross = (
+            transfer_time(payload, links.pim_to_cpu_bytes_per_s)
+            + k * payload / reduce_bw
+            + transfer_time(
+                payload, links.cpu_to_pim_broadcast_bytes_per_s
+            )
+        ) if k > 1 else 0.0
+        pimnet_times.append(base_p + cross)
+    return MultiChannelResult(
+        channel_counts=CHANNEL_COUNTS,
+        baseline_s=tuple(baseline_times),
+        pimnet_s=tuple(pimnet_times),
+    )
+
+
+def format_table(result: MultiChannelResult) -> str:
+    rows = tuple(
+        (
+            k,
+            f"{b * 1e3:.3f}",
+            f"{p * 1e3:.3f}",
+            f"{b / p:.2f}x",
+        )
+        for k, b, p in zip(
+            result.channel_counts, result.baseline_s, result.pimnet_s
+        )
+    )
+    return ExperimentTable(
+        "Fig 16",
+        "EMB_Synth with memory-channel scaling (per-batch time, ms)",
+        ("channels", "Baseline ms", "PIMnet ms", "speedup"),
+        rows,
+        notes="paper: PIMnet speedup grows with channel count",
+    ).format()

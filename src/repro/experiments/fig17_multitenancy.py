@@ -1,0 +1,39 @@
+"""Fig 17: multi-tenancy bandwidth isolation."""
+
+from __future__ import annotations
+
+from ..analysis.multitenancy import MultiTenancyResult, run_multitenancy
+from ..config.presets import MachineConfig
+from ..workloads import CcWorkload, emb_synth
+from .common import ExperimentTable, default_machine
+
+
+def run(machine: MachineConfig | None = None) -> MultiTenancyResult:
+    """Two tenants: a graph workload and a recommendation workload."""
+    machine = machine or default_machine()
+    return run_multitenancy(CcWorkload(), emb_synth(), machine)
+
+
+def format_table(result: MultiTenancyResult) -> str:
+    rows = []
+    for label, pair in (("Baseline", result.baseline), ("PIMnet", result.pimnet)):
+        for tenant in pair:
+            rows.append(
+                (
+                    label,
+                    tenant.workload,
+                    f"{tenant.alone_s * 1e3:.3f}",
+                    f"{tenant.shared_s * 1e3:.3f}",
+                    f"{tenant.interference_slowdown:.2f}x",
+                )
+            )
+    return ExperimentTable(
+        "Fig 17",
+        "Spatially mapped tenants: interference slowdown",
+        ("substrate", "tenant", "alone ms", "co-located ms", "slowdown"),
+        tuple(rows),
+        notes=(
+            f"PIMnet isolation benefit: {result.isolation_benefit():.2f}x "
+            "lower interference (geomean)"
+        ),
+    ).format()

@@ -1,0 +1,103 @@
+"""Message-size sensitivity sweep (supplementary experiment).
+
+Sweeps per-DPU payloads from 256 B to 1 MB for AllReduce and All-to-All
+across all backends, reporting where PIMnet's advantage comes from at
+each size: at tiny messages the baseline's fixed host overheads dominate
+(PIMnet wins on latency); at large messages bandwidth dominates (PIMnet
+wins on the fabric's aggregate rate); in between lies the ideal
+software's best operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.backend import registry
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.presets import MachineConfig
+from .common import ExperimentTable, default_machine
+
+PAYLOADS = tuple(256 * (4 ** e) for e in range(7))  # 256 B .. 1 MiB
+BACKENDS = ("B", "S", "D", "P")
+
+
+@dataclass(frozen=True)
+class SizeSweepResult:
+    pattern: Collective
+    payloads: tuple[int, ...]
+    #: times_s[backend][i]
+    times_s: dict[str, tuple[float, ...]]
+
+    def speedup_series(self, over: str = "B") -> dict[str, tuple[float, ...]]:
+        base = self.times_s[over]
+        return {
+            key: tuple(b / t for b, t in zip(base, times))
+            for key, times in self.times_s.items()
+        }
+
+    def pimnet_speedup_peak(self) -> tuple[int, float]:
+        """(payload, speedup) where PIMnet's gain over B peaks."""
+        series = self.speedup_series()["P"]
+        index = max(range(len(series)), key=lambda i: series[i])
+        return self.payloads[index], series[index]
+
+
+def run(
+    pattern: Collective = Collective.ALL_REDUCE,
+    machine: MachineConfig | None = None,
+) -> SizeSweepResult:
+    machine = machine or default_machine()
+    times: dict[str, list[float]] = {k: [] for k in BACKENDS}
+    for payload in PAYLOADS:
+        request = CollectiveRequest(
+            pattern, payload, dtype=np.dtype(np.int64)
+        )
+        for key in BACKENDS:
+            times[key].append(
+                registry.create(key, machine).timing(request).total_s
+            )
+    return SizeSweepResult(
+        pattern=pattern,
+        payloads=PAYLOADS,
+        times_s={k: tuple(v) for k, v in times.items()},
+    )
+
+
+def run_both(
+    machine: MachineConfig | None = None,
+) -> tuple[SizeSweepResult, SizeSweepResult]:
+    return (
+        run(Collective.ALL_REDUCE, machine),
+        run(Collective.ALL_TO_ALL, machine),
+    )
+
+
+def format_table(result: SizeSweepResult) -> str:
+    speedups = result.speedup_series()
+    rows = []
+    for i, payload in enumerate(result.payloads):
+        label = (
+            f"{payload // 1024} KiB" if payload >= 1024 else f"{payload} B"
+        )
+        rows.append(
+            (label,)
+            + tuple(
+                f"{result.times_s[k][i] * 1e6:.1f}" for k in BACKENDS
+            )
+            + tuple(f"{speedups[k][i]:.1f}x" for k in ("S", "P"))
+        )
+    peak_payload, peak = result.pimnet_speedup_peak()
+    return ExperimentTable(
+        f"Size sweep ({result.pattern.value})",
+        "Collective time (us) vs per-DPU payload, 256 DPUs",
+        ("payload",)
+        + tuple(f"{k} us" for k in BACKENDS)
+        + ("S speedup", "P speedup"),
+        tuple(rows),
+        notes=(
+            f"PIMnet gain peaks at {peak_payload} B/DPU: {peak:.1f}x over "
+            "baseline"
+        ),
+    ).format()

@@ -1,0 +1,21 @@
+"""Host substrate: runtime, buffer management, host-side collectives."""
+
+from .collectives import (
+    HOST_COLLECTIVES,
+    host_all_reduce,
+    host_all_to_all,
+    host_broadcast,
+    host_reduce_scatter,
+)
+from .runtime import HostEvent, PimBuffer, PimRuntime
+
+__all__ = [
+    "HOST_COLLECTIVES",
+    "host_all_reduce",
+    "host_all_to_all",
+    "host_broadcast",
+    "host_reduce_scatter",
+    "HostEvent",
+    "PimBuffer",
+    "PimRuntime",
+]

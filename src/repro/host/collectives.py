@@ -1,0 +1,108 @@
+"""Host-orchestrated collectives executed *functionally* through MRAM.
+
+This is the executable form of Fig 5(a): gather per-bank buffers over
+the channel, combine on the host, push results back.  The timing this
+path accumulates in the runtime trace is what
+:class:`~repro.collectives.host_baseline.HostBaselineBackend` models in
+closed form; the integration tests check both views stay consistent in
+structure (gather + compute + return) and in data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..collectives.patterns import Collective, ReduceOp
+from ..errors import CollectiveError
+from .runtime import PimRuntime
+
+
+def host_all_reduce(
+    runtime: PimRuntime,
+    buffer_name: str,
+    count: int,
+    dtype: np.dtype | type = np.int64,
+    op: ReduceOp = ReduceOp.SUM,
+) -> float:
+    """AllReduce through the host: gather -> reduce -> broadcast back."""
+    arrays, gather_s = runtime.pull(buffer_name, count, dtype)
+    total = arrays[0]
+    for arr in arrays[1:]:
+        total = op.apply(total, arr)
+    broadcast_s = runtime.broadcast(buffer_name, total)
+    return gather_s + broadcast_s
+
+
+def host_reduce_scatter(
+    runtime: PimRuntime,
+    buffer_name: str,
+    count: int,
+    dtype: np.dtype | type = np.int64,
+    op: ReduceOp = ReduceOp.SUM,
+) -> float:
+    """Reduce-Scatter through the host: each bank gets its shard back."""
+    n = len(runtime.banks)
+    if count % n != 0:
+        raise CollectiveError(
+            f"{count} elements not divisible across {n} banks"
+        )
+    arrays, gather_s = runtime.pull(buffer_name, count, dtype)
+    total = arrays[0]
+    for arr in arrays[1:]:
+        total = op.apply(total, arr)
+    shards = np.split(total, n)
+    # pad each shard into a full-size buffer image (shard at offset 0)
+    push_s = runtime.push(buffer_name, [shard.copy() for shard in shards])
+    return gather_s + push_s
+
+
+def host_all_to_all(
+    runtime: PimRuntime,
+    buffer_name: str,
+    count: int,
+    dtype: np.dtype | type = np.int64,
+) -> float:
+    """All-to-All through the host: gather, transpose chunks, scatter."""
+    n = len(runtime.banks)
+    if count % n != 0:
+        raise CollectiveError(
+            f"{count} elements not divisible across {n} banks"
+        )
+    arrays, gather_s = runtime.pull(buffer_name, count, dtype)
+    chunk = count // n
+    outputs = [
+        np.concatenate(
+            [arrays[src][dst * chunk : (dst + 1) * chunk] for src in range(n)]
+        )
+        for dst in range(n)
+    ]
+    push_s = runtime.push(buffer_name, outputs)
+    return gather_s + push_s
+
+
+def host_broadcast(
+    runtime: PimRuntime,
+    buffer_name: str,
+    count: int,
+    dtype: np.dtype | type = np.int64,
+    root: int = 0,
+) -> float:
+    """Broadcast the root bank's buffer to everyone via the host."""
+    if not 0 <= root < len(runtime.banks):
+        raise CollectiveError(f"root {root} out of range")
+    buffer = runtime.buffer(buffer_name)
+    dt = np.dtype(dtype)
+    data = runtime.banks[root].mram.read_array(
+        buffer.mram_offset, count, dt
+    )
+    up_s = runtime.channel.pim_to_cpu(count * dt.itemsize).time_s
+    down_s = runtime.broadcast(buffer_name, data)
+    return up_s + down_s
+
+
+HOST_COLLECTIVES = {
+    Collective.ALL_REDUCE: host_all_reduce,
+    Collective.REDUCE_SCATTER: host_reduce_scatter,
+    Collective.ALL_TO_ALL: host_all_to_all,
+    Collective.BROADCAST: host_broadcast,
+}

@@ -1,0 +1,16 @@
+"""DRAM substrate: sparse memories, bank DMA, DDR channel, address map."""
+
+from .address import AddressMap, BankSlice
+from .bank import BankMemory, DmaTransfer
+from .channel import ChannelTransfer, DdrChannel
+from .sparse import SparseMemory
+
+__all__ = [
+    "AddressMap",
+    "BankSlice",
+    "BankMemory",
+    "DmaTransfer",
+    "ChannelTransfer",
+    "DdrChannel",
+    "SparseMemory",
+]

@@ -1,0 +1,80 @@
+"""Host-visible address interleaving across PIM banks.
+
+The host sees one flat PIM address space; consecutive interleave-sized
+blocks rotate across the banks of a channel (the UPMEM SDK's default
+chunked layout).  The map is used by the host runtime to split buffers
+into per-bank MRAM writes and by tests to round-trip data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.system import PimSystemConfig
+from ..errors import MemoryModelError
+
+
+@dataclass(frozen=True)
+class BankSlice:
+    """One contiguous piece of a host buffer landing in one bank's MRAM."""
+
+    dpu_id: int
+    mram_offset: int
+    host_offset: int
+    length: int
+
+
+class AddressMap:
+    """Block-interleaved mapping of a flat host address space onto banks."""
+
+    def __init__(
+        self, config: PimSystemConfig, interleave_bytes: int = 8192
+    ) -> None:
+        if interleave_bytes <= 0 or interleave_bytes % 8 != 0:
+            raise MemoryModelError(
+                "interleave must be a positive multiple of 8 bytes"
+            )
+        self.config = config
+        self.interleave_bytes = interleave_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the interleaved host-visible PIM address space."""
+        return self.config.total_dpus * self.config.dpu.mram_bytes
+
+    def locate(self, host_address: int) -> tuple[int, int]:
+        """Map one host byte address to ``(dpu_id, mram_offset)``."""
+        if not 0 <= host_address < self.total_bytes:
+            raise MemoryModelError(
+                f"host address {host_address} outside PIM space"
+            )
+        block, within = divmod(host_address, self.interleave_bytes)
+        dpu = block % self.config.total_dpus
+        stripe = block // self.config.total_dpus
+        return dpu, stripe * self.interleave_bytes + within
+
+    def slices(self, host_address: int, length: int) -> list[BankSlice]:
+        """Split ``[host_address, host_address+length)`` into bank slices."""
+        if length < 0:
+            raise MemoryModelError("length must be >= 0")
+        if host_address < 0 or host_address + length > self.total_bytes:
+            raise MemoryModelError("range outside PIM space")
+        out: list[BankSlice] = []
+        cursor = host_address
+        end = host_address + length
+        while cursor < end:
+            dpu, offset = self.locate(cursor)
+            block_end = (
+                cursor // self.interleave_bytes + 1
+            ) * self.interleave_bytes
+            chunk = min(end, block_end) - cursor
+            out.append(
+                BankSlice(
+                    dpu_id=dpu,
+                    mram_offset=offset,
+                    host_offset=cursor - host_address,
+                    length=chunk,
+                )
+            )
+            cursor += chunk
+        return out

@@ -1,0 +1,24 @@
+"""Cycle-level NoC simulator (the Booksim 2.0 substitute for Fig 13)."""
+
+from .flit import Flit, Message, SimStats
+from .links import Link, SharedMedium
+from .network import NocNetwork
+from .simulator import NocSimulator
+from .workload import (
+    compute_skew_cycles,
+    messages_from_schedule,
+    run_flow_control_comparison,
+)
+
+__all__ = [
+    "Flit",
+    "Message",
+    "SimStats",
+    "Link",
+    "SharedMedium",
+    "NocNetwork",
+    "NocSimulator",
+    "compute_skew_cycles",
+    "messages_from_schedule",
+    "run_flow_control_comparison",
+]

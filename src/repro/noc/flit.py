@@ -1,0 +1,105 @@
+"""Flits and messages for the cycle-level NoC simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Message:
+    """One logical transfer between two DPUs, segmented into flits.
+
+    ``deps`` lists message ids that must be fully delivered before this
+    message may inject (data dependencies of ring algorithms).
+    ``ready_cycle`` is the earliest cycle the source may inject it
+    (compute-finish time in credit mode; the scheduled start otherwise).
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    num_flits: int
+    ready_cycle: int = 0
+    deps: tuple[int, ...] = ()
+    # -- simulation state --
+    injected_flits: int = 0
+    delivered_flits: int = 0
+    inject_start_cycle: int | None = None
+    complete_cycle: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_flits < 1:
+            raise SimulationError("message needs at least one flit")
+        if self.src == self.dst:
+            raise SimulationError("self-messages never enter the network")
+
+    @property
+    def delivered(self) -> bool:
+        return self.delivered_flits >= self.num_flits
+
+
+@dataclass
+class Flit:
+    """One flow-control unit traversing a precomputed path.
+
+    ``path`` is the sequence of links from source NIC to destination;
+    ``hop_index`` points at the next link to take.  ``arrival_link`` is
+    the link whose downstream buffer currently holds the flit, so its
+    credit can be returned when the flit moves on.
+    """
+
+    message: Message
+    seq: int
+    path: tuple["object", ...]
+    hop_index: int = 0
+    arrival_link: "object | None" = None
+
+    @property
+    def at_destination(self) -> bool:
+        return self.hop_index >= len(self.path)
+
+    @property
+    def next_link(self) -> "object":
+        if self.at_destination:
+            raise SimulationError("flit already at destination")
+        return self.path[self.hop_index]
+
+
+@dataclass
+class SimStats:
+    """Aggregate statistics of one NoC simulation run."""
+
+    cycles: int = 0
+    flits_delivered: int = 0
+    messages_delivered: int = 0
+    total_flit_hops: int = 0
+    peak_buffer_occupancy: int = 0
+    arbitration_conflicts: int = 0
+    per_message_latency: dict[int, int] = field(default_factory=dict)
+    link_busy_cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_message_latency(self) -> float:
+        if not self.per_message_latency:
+            return 0.0
+        return sum(self.per_message_latency.values()) / len(
+            self.per_message_latency
+        )
+
+    def link_utilization(self, name: str) -> float:
+        """Busy fraction of one link over the whole run."""
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.link_busy_cycles.get(name, 0) / self.cycles)
+
+    def hottest_links(self, top: int = 5) -> list[tuple[str, float]]:
+        """The most-utilized links, for locating bottlenecks."""
+        ranked = sorted(
+            self.link_busy_cycles.items(), key=lambda kv: -kv[1]
+        )
+        return [
+            (name, self.link_utilization(name))
+            for name, _ in ranked[:top]
+        ]

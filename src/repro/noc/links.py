@@ -1,0 +1,102 @@
+"""Links, shared media, and input-buffered router state."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class SharedMedium:
+    """A serialization resource shared by several links.
+
+    Models the half-duplex multi-drop DDR bus: every link that crosses
+    the bus (up or down, any rank pair) contends for the same medium.
+    """
+
+    name: str
+    next_free_cycle: int = 0
+
+
+@dataclass
+class Link:
+    """A directed channel between two routers with credit flow control.
+
+    ``cycles_per_flit`` is the serialization interval (inverse
+    bandwidth); ``latency_cycles`` is the pipeline latency to the
+    downstream buffer; ``buffer_depth`` is the downstream input FIFO
+    capacity, and ``credits`` counts the free slots the upstream side
+    may still consume.
+    """
+
+    name: str
+    src_router: str
+    dst_router: str
+    cycles_per_flit: int
+    latency_cycles: int
+    buffer_depth: int = 4
+    medium: SharedMedium | None = None
+    # -- simulation state --
+    credits: int = field(init=False)
+    next_free_cycle: int = field(init=False, default=0)
+    buffer: deque = field(init=False, default_factory=deque)
+    in_flight: list = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_flit < 1:
+            raise SimulationError(
+                f"{self.name}: cycles_per_flit must be >= 1"
+            )
+        if self.latency_cycles < 0:
+            raise SimulationError(f"{self.name}: negative latency")
+        if self.buffer_depth < 1:
+            raise SimulationError(f"{self.name}: need buffer depth >= 1")
+        self.credits = self.buffer_depth
+
+    # -- flow control -------------------------------------------------------
+    def can_accept(self, now: int) -> bool:
+        """Whether a flit may start traversing this link at ``now``."""
+        if self.credits <= 0:
+            return False
+        if self.next_free_cycle > now:
+            return False
+        if self.medium is not None and self.medium.next_free_cycle > now:
+            return False
+        return True
+
+    def start_traversal(self, flit, now: int) -> None:
+        """Commit a flit to the wire; arrival is scheduled for later."""
+        if not self.can_accept(now):
+            raise SimulationError(f"{self.name}: traversal without capacity")
+        self.credits -= 1
+        self.next_free_cycle = now + self.cycles_per_flit
+        if self.medium is not None:
+            self.medium.next_free_cycle = now + self.cycles_per_flit
+        self.in_flight.append(
+            (now + self.cycles_per_flit + self.latency_cycles, flit)
+        )
+
+    def deliver_arrivals(self, now: int) -> None:
+        """Move flits whose arrival time has come into the input buffer."""
+        remaining = []
+        for arrival, flit in self.in_flight:
+            if arrival <= now:
+                flit.arrival_link = self
+                self.buffer.append(flit)
+            else:
+                remaining.append((arrival, flit))
+        self.in_flight = remaining
+
+    def return_credit(self) -> None:
+        self.credits += 1
+        if self.credits > self.buffer_depth:
+            raise SimulationError(f"{self.name}: credit overflow")
+
+    def reset(self) -> None:
+        """Clear simulation state for a fresh run."""
+        self.credits = self.buffer_depth
+        self.next_free_cycle = 0
+        self.buffer.clear()
+        self.in_flight.clear()

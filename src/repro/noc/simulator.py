@@ -1,0 +1,217 @@
+"""Cycle-level NoC simulation loop.
+
+A faithful (if compact) Booksim-style model: input-buffered routers,
+credit-based flow control, round-robin switch allocation per output
+link, deterministic routing, and a shared half-duplex bus medium.
+
+The same simulator runs both of Fig 13's configurations:
+
+* **credit mode** — every message injects as soon as its data
+  dependencies are satisfied and its source DPU has finished computing;
+  contention is resolved dynamically by the credit/arbitration machinery.
+* **scheduled (PIM-controlled) mode** — messages carry barrier indices;
+  a barrier's messages inject only after every earlier barrier fully
+  delivered (the WAIT semantics), and all sources start together after
+  the READY/START synchronization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .flit import Flit, Message, SimStats
+from .links import Link
+from .network import NocNetwork
+
+
+@dataclass
+class _InjectionQueue:
+    """Per-DPU NIC queue feeding the local stop."""
+
+    flits: deque = field(default_factory=deque)
+
+
+class NocSimulator:
+    """Runs a set of messages over a :class:`NocNetwork` to completion."""
+
+    def __init__(
+        self,
+        network: NocNetwork,
+        messages: list[Message],
+        use_barriers: bool = False,
+    ) -> None:
+        self.network = network
+        self.messages = {m.msg_id: m for m in messages}
+        if len(self.messages) != len(messages):
+            raise SimulationError("duplicate message ids")
+        self.use_barriers = use_barriers
+        self.barriers: dict[int, int] = {}
+        self._message_barrier: dict[int, int] = {}
+
+    def set_barriers(self, barriers: dict[int, int]) -> None:
+        """Assign message -> barrier index (scheduled mode)."""
+        self._message_barrier = dict(barriers)
+        counts: dict[int, int] = {}
+        for msg_id, barrier in self._message_barrier.items():
+            if msg_id not in self.messages:
+                raise SimulationError(f"barrier for unknown message {msg_id}")
+            counts[barrier] = counts.get(barrier, 0) + 1
+        self.barriers = counts
+        self.use_barriers = True
+
+    # -- injection gating ---------------------------------------------------------
+    def _deps_satisfied(self, message: Message) -> bool:
+        return all(self.messages[d].delivered for d in message.deps)
+
+    def _barrier_open(self, message: Message) -> bool:
+        mine = self._message_barrier.get(message.msg_id, 0)
+        for barrier, count in self._outstanding.items():
+            if barrier < mine and count > 0:
+                return False
+        return True
+
+    # -- main loop -------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> SimStats:
+        network = self.network
+        network.reset()
+        stats = SimStats()
+        injection: dict[int, _InjectionQueue] = {}
+        pending = sorted(self.messages.values(), key=lambda m: m.msg_id)
+        for m in pending:
+            m.injected_flits = 0
+            m.delivered_flits = 0
+            m.inject_start_cycle = None
+            m.complete_cycle = None
+        self._outstanding = {
+            b: 0 for b in set(self._message_barrier.values())
+        }
+        for msg_id, barrier in self._message_barrier.items():
+            self._outstanding[barrier] += self.messages[msg_id].num_flits
+
+        not_injected = deque(pending)
+        links = list(network.links.values())
+        rr_pointers: dict[str, int] = {l.name: 0 for l in links}
+        # Input buffers per router: delivering links plus the NIC queue.
+        router_inputs: dict[str, list[Link]] = {}
+        for link in links:
+            router_inputs.setdefault(link.dst_router, []).append(link)
+            router_inputs.setdefault(link.src_router, [])
+        router_links_out: dict[str, list[Link]] = {}
+        for link in links:
+            router_links_out.setdefault(link.src_router, []).append(link)
+
+        remaining_flits = sum(m.num_flits for m in pending)
+        now = 0
+        while remaining_flits > 0:
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"NoC simulation exceeded {max_cycles} cycles with "
+                    f"{remaining_flits} flits outstanding — deadlock or "
+                    "pathological contention"
+                )
+            # 1. inject newly eligible messages into their NIC queues
+            still_waiting = deque()
+            while not_injected:
+                m = not_injected.popleft()
+                eligible = (
+                    m.ready_cycle <= now
+                    and self._deps_satisfied(m)
+                    and (not self.use_barriers or self._barrier_open(m))
+                )
+                if not eligible:
+                    still_waiting.append(m)
+                    continue
+                m.inject_start_cycle = now
+                path = network.path(m.src, m.dst)
+                queue = injection.setdefault(m.src, _InjectionQueue())
+                for seq in range(m.num_flits):
+                    queue.flits.append(Flit(message=m, seq=seq, path=path))
+                m.injected_flits = m.num_flits
+            not_injected = still_waiting
+
+            # 2. deliver in-flight flits into downstream buffers
+            for link in links:
+                link.deliver_arrivals(now)
+                occupancy = len(link.buffer)
+                if occupancy > stats.peak_buffer_occupancy:
+                    stats.peak_buffer_occupancy = occupancy
+
+            # 3. eject flits that reached their destination (head of FIFO)
+            for link in links:
+                if link.buffer:
+                    head = link.buffer[0]
+                    if head.at_destination:
+                        link.buffer.popleft()
+                        link.return_credit()
+                        self._account_delivery(head, now, stats)
+                        remaining_flits -= 1
+
+            # 4. switch allocation: round-robin per output link
+            for link in links:
+                if not link.can_accept(now):
+                    continue
+                candidates: list[tuple[str, object]] = []
+                for in_link in router_inputs.get(link.src_router, []):
+                    if in_link.buffer:
+                        head = in_link.buffer[0]
+                        if (
+                            not head.at_destination
+                            and head.next_link is link
+                        ):
+                            candidates.append((in_link.name, in_link))
+                nic = injection.get(self._nic_dpu(link.src_router))
+                if nic and nic.flits:
+                    head = nic.flits[0]
+                    if head.next_link is link:
+                        candidates.append(("nic", nic))
+                if not candidates:
+                    continue
+                if len(candidates) > 1:
+                    stats.arbitration_conflicts += 1
+                pointer = rr_pointers[link.name]
+                chosen_name, chosen = candidates[pointer % len(candidates)]
+                rr_pointers[link.name] = pointer + 1
+                if chosen_name == "nic":
+                    flit = chosen.flits.popleft()
+                else:
+                    flit = chosen.buffer.popleft()
+                    chosen.return_credit()
+                flit.hop_index += 1
+                flit.arrival_link = None
+                link.start_traversal(flit, now)
+                stats.total_flit_hops += 1
+                stats.link_busy_cycles[link.name] = (
+                    stats.link_busy_cycles.get(link.name, 0)
+                    + link.cycles_per_flit
+                )
+
+            now += 1
+
+        stats.cycles = now
+        stats.messages_delivered = sum(
+            1 for m in self.messages.values() if m.delivered
+        )
+        return stats
+
+    # -- helpers -----------------------------------------------------------------------
+    def _nic_dpu(self, router: str) -> int:
+        """DPU id whose NIC feeds ``router`` (only stops have NICs)."""
+        if not router.startswith("stop:"):
+            return -1
+        _, r, c, b = router.split(":")
+        return self.network.shape.dpu(int(r), int(c), int(b))
+
+    def _account_delivery(self, flit: Flit, now: int, stats: SimStats) -> None:
+        message = flit.message
+        message.delivered_flits += 1
+        stats.flits_delivered += 1
+        if self.use_barriers:
+            barrier = self._message_barrier.get(message.msg_id, 0)
+            if barrier in self._outstanding:
+                self._outstanding[barrier] -= 1
+        if message.delivered:
+            message.complete_cycle = now
+            start = message.inject_start_cycle or 0
+            stats.per_message_latency[message.msg_id] = now - start

@@ -1,0 +1,5 @@
+"""Packaging-hierarchy topology: coordinates and tier neighbor math."""
+
+from .coordinates import BankCoord, Topology
+
+__all__ = ["BankCoord", "Topology"]

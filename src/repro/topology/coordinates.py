@@ -1,0 +1,132 @@
+"""Coordinate algebra for the PIM packaging hierarchy.
+
+A DPU (equivalently, a PIM bank) is addressed by a four-level coordinate
+``(channel, rank, chip, bank)``.  Flat DPU ids enumerate banks first, then
+chips, then ranks, then channels — the same order the weak-scaling
+experiments use to grow the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config.system import PimSystemConfig
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True, order=True)
+class BankCoord:
+    """Position of one PIM bank in the packaging hierarchy."""
+
+    channel: int
+    rank: int
+    chip: int
+    bank: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ch{self.channel}/r{self.rank}/c{self.chip}/b{self.bank}"
+
+
+class Topology:
+    """Bidirectional mapping between flat DPU ids and :class:`BankCoord`.
+
+    Also provides the neighbor math for the three PIMnet tiers: ring
+    neighbors within a chip, crossbar ports within a rank, and bus drops
+    within a channel.
+    """
+
+    def __init__(self, config: PimSystemConfig) -> None:
+        self.config = config
+
+    # -- id <-> coordinate ----------------------------------------------------
+    def coord(self, dpu_id: int) -> BankCoord:
+        """Decode a flat DPU id into its packaging coordinate."""
+        if not 0 <= dpu_id < self.config.total_dpus:
+            raise TopologyError(
+                f"DPU id {dpu_id} out of range [0, {self.config.total_dpus})"
+            )
+        cfg = self.config
+        bank = dpu_id % cfg.banks_per_chip
+        rest = dpu_id // cfg.banks_per_chip
+        chip = rest % cfg.chips_per_rank
+        rest //= cfg.chips_per_rank
+        rank = rest % cfg.ranks_per_channel
+        channel = rest // cfg.ranks_per_channel
+        return BankCoord(channel=channel, rank=rank, chip=chip, bank=bank)
+
+    def dpu_id(self, coord: BankCoord) -> int:
+        """Encode a packaging coordinate into its flat DPU id."""
+        cfg = self.config
+        if not 0 <= coord.bank < cfg.banks_per_chip:
+            raise TopologyError(f"bank {coord.bank} out of range")
+        if not 0 <= coord.chip < cfg.chips_per_rank:
+            raise TopologyError(f"chip {coord.chip} out of range")
+        if not 0 <= coord.rank < cfg.ranks_per_channel:
+            raise TopologyError(f"rank {coord.rank} out of range")
+        if not 0 <= coord.channel < cfg.num_channels:
+            raise TopologyError(f"channel {coord.channel} out of range")
+        return (
+            (
+                (coord.channel * cfg.ranks_per_channel + coord.rank)
+                * cfg.chips_per_rank
+                + coord.chip
+            )
+            * cfg.banks_per_chip
+            + coord.bank
+        )
+
+    def all_coords(self) -> Iterator[BankCoord]:
+        """All bank coordinates in flat-id order."""
+        for dpu in range(self.config.total_dpus):
+            yield self.coord(dpu)
+
+    # -- tier groupings ---------------------------------------------------------
+    def chip_members(self, channel: int, rank: int, chip: int) -> list[int]:
+        """Flat ids of the banks on one DRAM chip (one inter-bank ring)."""
+        return [
+            self.dpu_id(BankCoord(channel, rank, chip, bank))
+            for bank in range(self.config.banks_per_chip)
+        ]
+
+    def rank_members(self, channel: int, rank: int) -> list[int]:
+        """Flat ids of all banks in one rank (one inter-chip crossbar scope)."""
+        return [
+            dpu
+            for chip in range(self.config.chips_per_rank)
+            for dpu in self.chip_members(channel, rank, chip)
+        ]
+
+    def channel_members(self, channel: int) -> list[int]:
+        """Flat ids of all banks on one memory channel (one PIMnet scope)."""
+        return [
+            dpu
+            for rank in range(self.config.ranks_per_channel)
+            for dpu in self.rank_members(channel, rank)
+        ]
+
+    # -- tier neighbors -----------------------------------------------------------
+    def ring_neighbor(self, dpu_id: int, direction: int = +1) -> int:
+        """Next bank on the same chip's inter-bank ring.
+
+        ``direction`` is +1 (east) or -1 (west); the ring wraps within the
+        chip, matching the partitioned bank-group I/O bus of Fig 7.
+        """
+        if direction not in (+1, -1):
+            raise TopologyError("ring direction must be +1 or -1")
+        c = self.coord(dpu_id)
+        nb = (c.bank + direction) % self.config.banks_per_chip
+        return self.dpu_id(BankCoord(c.channel, c.rank, c.chip, nb))
+
+    def chip_ring_neighbor(self, chip: int, direction: int = +1) -> int:
+        """Next chip index on the logical inter-chip ring of a rank."""
+        if direction not in (+1, -1):
+            raise TopologyError("ring direction must be +1 or -1")
+        return (chip + direction) % self.config.chips_per_rank
+
+    def ring_distance(self, src_bank: int, dst_bank: int) -> int:
+        """Hop count from ``src_bank`` to ``dst_bank`` going east."""
+        n = self.config.banks_per_chip
+        if not (0 <= src_bank < n and 0 <= dst_bank < n):
+            raise TopologyError("bank index out of range")
+        return (dst_bank - src_bank) % n

@@ -1,0 +1,133 @@
+"""The paper's Table VII workloads: functional + timing models."""
+
+from .base import (
+    AppResult,
+    CommPhase,
+    ComputePhase,
+    ExecutionEngine,
+    PATTERN_LABEL,
+    Workload,
+    WorkloadPhase,
+    compare_backends,
+)
+from .bfs import BfsWorkload, distributed_bfs, verify_distributed_bfs
+from .cc import (
+    CcWorkload,
+    distributed_connected_components,
+    verify_distributed_cc,
+)
+from .embedding import (
+    EMB_VARIANTS,
+    EmbeddingWorkload,
+    distributed_embedding_lookup,
+    embedding_reference,
+    emb_synth,
+    rm1,
+    rm2,
+    rm3,
+)
+from .gemv import (
+    GemvWorkload,
+    distributed_gemv,
+    gemv_1024x64,
+    gemv_2048x128,
+)
+from .graphs import (
+    Graph,
+    bfs_levels,
+    bfs_reference,
+    connected_components_reference,
+    rmat_graph,
+)
+from .join import JoinWorkload, distributed_hash_join, join_reference
+from .mlp import MlpWorkload, distributed_mlp, mlp_configs, mlp_reference
+from .ntt import (
+    MODULUS,
+    NttWorkload,
+    distributed_ntt_2d,
+    ntt_reference,
+    root_of_unity,
+)
+from .verification import (
+    VerificationResult,
+    all_passed,
+    verify_all,
+)
+from .spmv import (
+    SpmvWorkload,
+    distributed_spmv,
+    random_coo_matrix,
+    spmv_reference,
+)
+
+
+def paper_workloads() -> dict[str, Workload]:
+    """The Fig 10 application set with the paper's configurations."""
+    return {
+        "BFS": BfsWorkload(),
+        "CC": CcWorkload(),
+        "MLP": MlpWorkload(),
+        "GEMV": GemvWorkload(),
+        "SpMV": SpmvWorkload(),
+        "EMB_Synth": emb_synth(),
+        "RM1": rm1(),
+        "RM2": rm2(),
+        "RM3": rm3(),
+        "NTT": NttWorkload(),
+        "Join": JoinWorkload(),
+    }
+
+
+__all__ = [
+    "AppResult",
+    "CommPhase",
+    "ComputePhase",
+    "ExecutionEngine",
+    "PATTERN_LABEL",
+    "Workload",
+    "WorkloadPhase",
+    "compare_backends",
+    "BfsWorkload",
+    "distributed_bfs",
+    "verify_distributed_bfs",
+    "CcWorkload",
+    "distributed_connected_components",
+    "verify_distributed_cc",
+    "EMB_VARIANTS",
+    "EmbeddingWorkload",
+    "distributed_embedding_lookup",
+    "embedding_reference",
+    "emb_synth",
+    "rm1",
+    "rm2",
+    "rm3",
+    "GemvWorkload",
+    "distributed_gemv",
+    "gemv_1024x64",
+    "gemv_2048x128",
+    "Graph",
+    "bfs_levels",
+    "bfs_reference",
+    "connected_components_reference",
+    "rmat_graph",
+    "JoinWorkload",
+    "distributed_hash_join",
+    "join_reference",
+    "MlpWorkload",
+    "distributed_mlp",
+    "mlp_configs",
+    "mlp_reference",
+    "MODULUS",
+    "NttWorkload",
+    "distributed_ntt_2d",
+    "ntt_reference",
+    "root_of_unity",
+    "SpmvWorkload",
+    "distributed_spmv",
+    "random_coo_matrix",
+    "spmv_reference",
+    "paper_workloads",
+    "VerificationResult",
+    "all_passed",
+    "verify_all",
+]

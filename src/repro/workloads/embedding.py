@@ -1,0 +1,149 @@
+"""EMB: DLRM embedding-table lookup (Table VII).
+
+Embedding tables are partitioned Cx-Ry (x column-wise slices of the
+embedding dimension times y row-wise slices of the vocabulary, as in
+RecNMP); each DPU pools the rows it owns for every batch sample, then
+the per-DPU partial pooled vectors are combined with Reduce-Scatter.
+
+``EMB_Synth`` is the paper's synthetic table (4M rows, dim 64, pooling
+8, batch 256); RM1-RM3 follow the production-model shapes of [63] —
+increasing dimension and pooling factor, which is why RM3 shows the
+largest PIMnet benefit (most communication per unit of compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.backend import CollectiveBackend
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.compute import Op
+from ..config.presets import MachineConfig
+from ..dpu.compute import OpCounts
+from ..errors import WorkloadError
+from .base import CommPhase, ComputePhase, Workload, WorkloadPhase
+
+
+@dataclass(frozen=True)
+class EmbeddingWorkload(Workload):
+    """Pooled embedding lookup with Cx-Ry partitioning and RS combine."""
+
+    table_rows: int = 4_000_000
+    dim: int = 64
+    pooling: int = 8
+    batch: int = 256
+    column_partitions: int = 8
+    #: DPU cycles per pooled row: one random MRAM DMA (engine setup +
+    #: DRAM access) plus the accumulate loop over the dim slice.
+    cycles_per_row: float = 500.0
+    variant: str = "EMB_Synth"
+
+    name = "EMB"
+    comm = "RS"
+
+    def __post_init__(self) -> None:
+        if min(self.table_rows, self.dim, self.pooling, self.batch) < 1:
+            raise WorkloadError("embedding parameters must be positive")
+        if self.column_partitions < 1:
+            raise WorkloadError("need at least one column partition")
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        n = machine.system.banks_per_channel
+        row_partitions = max(1, n // self.column_partitions)
+        rows_touched = self.batch * self.pooling / row_partitions
+        dim_slice = max(1, self.dim // self.column_partitions)
+        work = OpCounts(
+            counts={Op.INT_ADD: self.cycles_per_row * rows_touched},
+            mram_read_bytes=4.0 * dim_slice * rows_touched,
+        )
+        payload = self.batch * dim_slice * 4
+        request = CollectiveRequest(
+            Collective.REDUCE_SCATTER,
+            payload_bytes=max(payload // n, 4) * n,
+            dtype=np.dtype(np.int32),
+        )
+        return [
+            ComputePhase(work, name="pooled-lookup"),
+            CommPhase(request, name="partials-RS"),
+        ]
+
+
+def emb_synth() -> EmbeddingWorkload:
+    """The paper's synthetic table: 4M rows, dim 64, pooling 8, batch 256."""
+    return EmbeddingWorkload(cycles_per_row=800.0)
+
+
+def rm1() -> EmbeddingWorkload:
+    """RM1: small tables, light pooling (compute-leaning)."""
+    return EmbeddingWorkload(
+        table_rows=2_000_000, dim=32, pooling=40, batch=256,
+        column_partitions=4, variant="RM1",
+    )
+
+
+def rm2() -> EmbeddingWorkload:
+    """RM2: mid-sized tables and pooling."""
+    return EmbeddingWorkload(
+        table_rows=4_000_000, dim=64, pooling=32, batch=256,
+        column_partitions=8, variant="RM2",
+    )
+
+
+def rm3() -> EmbeddingWorkload:
+    """RM3: wide embeddings, heavy communication (largest PIMnet gain)."""
+    return EmbeddingWorkload(
+        table_rows=8_000_000, dim=128, pooling=20, batch=512,
+        column_partitions=8, variant="RM3",
+    )
+
+
+EMB_VARIANTS = {
+    "EMB_Synth": emb_synth,
+    "RM1": rm1,
+    "RM2": rm2,
+    "RM3": rm3,
+}
+
+
+def distributed_embedding_lookup(
+    table: np.ndarray,
+    indices: np.ndarray,
+    backend: CollectiveBackend,
+) -> np.ndarray:
+    """Functional row-partitioned pooled lookup through Reduce-Scatter.
+
+    ``table`` is (rows, dim); ``indices`` is (batch, pooling).  Rows are
+    partitioned round-robin across DPUs; each DPU sums the rows it owns
+    per sample and RS combines the partials.  Returns the (batch, dim)
+    pooled output, identical to a dense numpy gather-sum.
+    """
+    n = backend.num_dpus
+    rows, dim = table.shape
+    batch, pooling = indices.shape
+    if (batch * dim) % n != 0:
+        raise WorkloadError(
+            f"batch*dim = {batch * dim} not divisible by {n} DPUs"
+        )
+    partials = []
+    for d in range(n):
+        partial = np.zeros((batch, dim), dtype=np.int64)
+        owned = indices % n == d
+        for s in range(batch):
+            mine = indices[s][owned[s]]
+            if mine.size:
+                partial[s] = table[mine].astype(np.int64).sum(axis=0)
+        partials.append(partial.ravel())
+    request = CollectiveRequest(
+        Collective.REDUCE_SCATTER, payload_bytes=batch * dim * 8,
+        dtype=np.dtype(np.int64),
+    )
+    result = backend.run(request, partials)
+    assert result.outputs is not None
+    return np.concatenate(result.outputs).reshape(batch, dim)
+
+
+def embedding_reference(table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Dense pooled-lookup reference."""
+    return table.astype(np.int64)[indices].sum(axis=1)

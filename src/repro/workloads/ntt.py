@@ -1,0 +1,160 @@
+"""NTT: the Number Theoretic Transform used in homomorphic encryption.
+
+Implements the paper's 2D (four-step / Bailey) decomposition of an
+N = 2^16 NTT: column NTTs, twiddle scaling, an All-to-All transpose, and
+row NTTs.  Arithmetic is over Z_p with p = 65537 (p - 1 = 2^16, so every
+power-of-two size up to 2^16 has a root of unity), with 3 as primitive
+root — the classic Fermat-prime NTT setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.backend import CollectiveBackend
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.compute import Op
+from ..config.presets import MachineConfig
+from ..dpu.compute import OpCounts
+from ..errors import WorkloadError
+from .base import CommPhase, ComputePhase, Workload, WorkloadPhase
+
+#: Fermat prime and its primitive root.
+MODULUS = 65537
+PRIMITIVE_ROOT = 3
+
+
+def root_of_unity(size: int) -> int:
+    """A principal ``size``-th root of unity modulo :data:`MODULUS`."""
+    if size < 1 or (MODULUS - 1) % size != 0:
+        raise WorkloadError(
+            f"no {size}-th root of unity mod {MODULUS}"
+        )
+    return pow(PRIMITIVE_ROOT, (MODULUS - 1) // size, MODULUS)
+
+
+def ntt_reference(values: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 Cooley-Tukey NTT (bit-reversal + butterflies)."""
+    a = np.asarray(values, dtype=np.int64) % MODULUS
+    n = a.size
+    if n & (n - 1) != 0:
+        raise WorkloadError("NTT size must be a power of two")
+    # bit-reversal permutation
+    indices = np.arange(n)
+    bits = n.bit_length() - 1
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        reversed_indices |= ((indices >> b) & 1) << (bits - 1 - b)
+    a = a[reversed_indices].copy()
+    length = 2
+    while length <= n:
+        w_len = root_of_unity(length)
+        half = length // 2
+        twiddles = np.ones(half, dtype=np.int64)
+        for i in range(1, half):
+            twiddles[i] = twiddles[i - 1] * w_len % MODULUS
+        blocks = a.reshape(n // length, length)
+        even = blocks[:, :half].copy()  # copy: the in-place write below
+        odd = blocks[:, half:] * twiddles % MODULUS
+        blocks[:, :half] = (even + odd) % MODULUS
+        blocks[:, half:] = (even - odd) % MODULUS
+        a = blocks.reshape(n)
+        length *= 2
+    return a
+
+
+def distributed_ntt_2d(
+    values: np.ndarray, backend: CollectiveBackend
+) -> np.ndarray:
+    """Four-step NTT with the transpose done as an All-to-All.
+
+    ``values`` has n1 * n2 elements with n1 = n2 = the backend's DPU
+    count; DPU i2 initially holds column i2 (elements ``i1*n2 + i2``).
+    Returns the full transform, identical to :func:`ntt_reference`.
+    """
+    n = backend.num_dpus
+    n1 = n2 = n
+    if values.size != n1 * n2:
+        raise WorkloadError(
+            f"need {n1 * n2} elements for a {n1}x{n2} 2D NTT"
+        )
+    x = np.asarray(values, dtype=np.int64).reshape(n1, n2) % MODULUS
+    omega = root_of_unity(n1 * n2)
+
+    # Step 1: n1-point NTT on each column (done by the column's DPU).
+    columns = [ntt_reference(x[:, i2].copy()) for i2 in range(n2)]
+    # Step 2: twiddle scaling A[k1, i2] *= omega^(i2 * k1).
+    k1 = np.arange(n1, dtype=np.int64)
+    for i2 in range(n2):
+        twiddle = np.array(
+            [pow(omega, int(i2 * k), MODULUS) for k in k1], dtype=np.int64
+        )
+        columns[i2] = columns[i2] * twiddle % MODULUS
+    # Step 3: All-to-All transpose so DPU k1 holds A[k1, :].
+    request = CollectiveRequest(
+        Collective.ALL_TO_ALL, payload_bytes=n1 * 8,
+        dtype=np.dtype(np.int64),
+    )
+    result = backend.run(request, columns)
+    assert result.outputs is not None
+    rows = result.outputs
+    # Step 4: n2-point NTT on each row; output index is k1 + n1*k2.
+    out = np.zeros(n1 * n2, dtype=np.int64)
+    for idx in range(n1):
+        transformed = ntt_reference(rows[idx])
+        out[idx::n1] = transformed
+    return out
+
+
+@dataclass(frozen=True)
+class NttWorkload(Workload):
+    """2D NTT with N = 2^16 (256 x 256) and 16 tasklets per DPU."""
+
+    size: int = 1 << 16
+    batch: int = 16  # polynomials transformed back to back (one/tasklet)
+
+    name = "NTT"
+    comm = "A2A"
+
+    def __post_init__(self) -> None:
+        if self.size & (self.size - 1) != 0:
+            raise WorkloadError("NTT size must be a power of two")
+        if self.batch < 1:
+            raise WorkloadError("batch must be positive")
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        n = machine.system.banks_per_channel
+        side = int(round(self.size ** 0.5))
+        ntts_per_dpu = self.batch * max(1.0, side / n)
+        butterflies = side / 2 * max(1, side.bit_length() - 1)
+        # modmul = emulated 32-bit multiply + Barrett-style reduction;
+        # two modular add/subs per butterfly.
+        per_step = OpCounts(
+            counts={
+                Op.INT_MUL: butterflies * ntts_per_dpu,
+                Op.INT_MOD: butterflies * ntts_per_dpu,
+                Op.INT_ADD: 4.0 * butterflies * ntts_per_dpu,
+            },
+            mram_read_bytes=4.0 * side * ntts_per_dpu,
+            mram_write_bytes=4.0 * side * ntts_per_dpu,
+        )
+        twiddle = OpCounts(
+            counts={
+                Op.INT_MUL: side * ntts_per_dpu,
+                Op.INT_MOD: side * ntts_per_dpu,
+            }
+        )
+        payload = int(self.batch * side * 4)
+        transpose = CollectiveRequest(
+            Collective.ALL_TO_ALL,
+            payload_bytes=max(payload // n, 4) * n,
+            dtype=np.dtype(np.int32),
+        )
+        return [
+            ComputePhase(per_step, name="column-NTT"),
+            ComputePhase(twiddle, name="twiddle"),
+            CommPhase(transpose, name="transpose-A2A"),
+            ComputePhase(per_step, name="row-NTT"),
+        ]

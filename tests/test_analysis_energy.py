@@ -1,0 +1,80 @@
+"""Communication energy model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import collective_energy, energy_comparison
+from repro.collectives import Collective, CollectiveRequest
+from repro.config import pimnet_sim_system
+from repro.errors import ReproError
+from repro.experiments.common import scaled_machine
+
+
+def req(pattern, payload=32 * 1024):
+    return CollectiveRequest(pattern, payload, dtype=np.dtype(np.int64))
+
+
+class TestEnergyOrdering:
+    @pytest.mark.parametrize(
+        "pattern",
+        [Collective.ALL_REDUCE, Collective.ALL_TO_ALL],
+    )
+    def test_pimnet_cheaper_than_host_path(self, pattern):
+        est = energy_comparison(req(pattern))
+        assert est["P"].total_j < est["B"].total_j
+
+    def test_broadcast_is_not_an_energy_win(self):
+        """Honest model outcome: Table V's chip-ring-first broadcast puts
+        C copies on the expensive bus, so for pure broadcast the
+        host's single bus crossing is energy-comparable or better —
+        PIMnet's broadcast win is latency/bandwidth, not energy."""
+        est = energy_comparison(req(Collective.BROADCAST))
+        ratio = est["B"].total_j / est["P"].total_j
+        assert 0.3 < ratio < 3.0
+
+    def test_allreduce_saves_severalfold(self):
+        est = energy_comparison(req(Collective.ALL_REDUCE))
+        assert est["B"].total_j / est["P"].total_j > 2
+
+    def test_host_path_charges_compute(self):
+        est = collective_energy(req(Collective.ALL_REDUCE), "B")
+        assert est.compute_j > 0
+
+    def test_pimnet_has_no_host_compute(self):
+        est = collective_energy(req(Collective.ALL_REDUCE), "P")
+        assert est.compute_j == 0.0
+
+
+class TestScaling:
+    def test_energy_linear_in_payload(self):
+        small = collective_energy(req(Collective.ALL_REDUCE, 8 * 1024), "P")
+        large = collective_energy(req(Collective.ALL_REDUCE, 64 * 1024), "P")
+        assert large.total_j == pytest.approx(8 * small.total_j, rel=0.01)
+
+    def test_host_energy_grows_with_dpus(self):
+        machine = pimnet_sim_system()
+        e64 = collective_energy(
+            req(Collective.ALL_REDUCE), "B", scaled_machine(machine, 64)
+        )
+        e256 = collective_energy(
+            req(Collective.ALL_REDUCE), "B", scaled_machine(machine, 256)
+        )
+        assert e256.total_j > 3 * e64.total_j
+
+    def test_pimnet_energy_mostly_on_cheap_tiers(self):
+        """Most PIMnet bytes move on the cheap on-chip rings."""
+        ar = collective_energy(req(Collective.ALL_REDUCE), "P")
+        a2a = collective_energy(req(Collective.ALL_TO_ALL), "P")
+        # A2A pushes most bytes over the expensive bus, so per byte
+        # moved its energy exceeds AllReduce's.
+        assert a2a.total_j > ar.total_j
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            collective_energy(req(Collective.ALL_REDUCE), "Z")
+
+    def test_unmodeled_pattern_rejected(self):
+        with pytest.raises(ReproError):
+            collective_energy(req(Collective.GATHER), "P")

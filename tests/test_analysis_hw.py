@@ -1,0 +1,84 @@
+"""Analytic hardware overhead model vs the paper's synthesis results."""
+
+import pytest
+
+from repro.analysis import (
+    address_generator_estimate,
+    hardware_overhead_report,
+    interchip_switch_estimate,
+    per_bank_overhead_estimate,
+    pimnet_stop_estimate,
+    ring_router_estimate,
+    sync_propagation_latency_ns,
+)
+from repro.core import PimnetStopSpec
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def report():
+    return hardware_overhead_report()
+
+
+class TestPaperAnchors:
+    def test_bank_area_overhead_near_0_09_percent(self, report):
+        assert 0.05 <= report.bank_area_percent <= 0.2
+
+    def test_bank_power_overhead_near_1_6_percent(self, report):
+        assert 1.0 <= report.bank_power_percent <= 2.5
+
+    def test_router_over_60x_larger_than_stop(self, report):
+        assert report.router_to_stop_area_ratio >= 60
+
+    def test_switch_near_paper_figures(self, report):
+        # paper: 0.013 mm^2, 17 mW
+        assert 0.005 <= report.switch.area_mm2 <= 0.025
+        assert 10 <= report.switch.power_mw <= 25
+
+    def test_sync_latency_near_15ns(self, report):
+        assert 12 <= report.sync_latency_ns <= 20
+        # ~6 DPU cycles at 350 MHz
+        cycles = report.sync_latency_ns * 1e-9 * 350e6
+        assert 4 <= cycles <= 8
+
+
+class TestStructuralScaling:
+    def test_stop_area_scales_with_width(self):
+        narrow = pimnet_stop_estimate(PimnetStopSpec(channel_width_bits=8))
+        wide = pimnet_stop_estimate(PimnetStopSpec(channel_width_bits=32))
+        assert wide.area_mm2 > narrow.area_mm2
+
+    def test_router_area_dominated_by_buffers(self):
+        shallow = ring_router_estimate(buffer_flits_per_vc=2)
+        deep = ring_router_estimate(buffer_flits_per_vc=16)
+        assert deep.area_mm2 > 2 * shallow.area_mm2
+
+    def test_router_needs_two_ports(self):
+        with pytest.raises(ReproError):
+            ring_router_estimate(num_ports=1)
+
+    def test_per_bank_is_stop_plus_addrgen(self):
+        total = per_bank_overhead_estimate()
+        parts = (
+            pimnet_stop_estimate().area_mm2
+            + address_generator_estimate().area_mm2
+        )
+        assert total.area_mm2 == pytest.approx(parts)
+
+    def test_switch_grows_with_radix(self):
+        from repro.core import SwitchSpec
+
+        small = interchip_switch_estimate(SwitchSpec(radix=4))
+        large = interchip_switch_estimate(SwitchSpec(radix=16))
+        assert large.area_mm2 > small.area_mm2
+
+
+class TestSyncModel:
+    def test_wire_term_scales_with_span(self):
+        near = sync_propagation_latency_ns(dimm_span_mm=10)
+        far = sync_propagation_latency_ns(dimm_span_mm=100)
+        assert far > near
+
+    def test_fraction_helpers(self, report):
+        assert report.stop.area_fraction_of_bank() < 0.001
+        assert 0 < report.per_bank.power_fraction_of_bank() < 0.05

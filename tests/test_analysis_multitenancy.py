@@ -1,0 +1,48 @@
+"""Multi-tenancy bandwidth-isolation model (Fig 17)."""
+
+import pytest
+
+from repro.analysis import run_multitenancy
+from repro.workloads import CcWorkload, GemvWorkload, emb_synth
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_multitenancy(
+        CcWorkload(iterations=4), emb_synth()
+    )
+
+
+class TestIsolation:
+    def test_baseline_tenants_interfere(self, result):
+        for tenant in result.baseline:
+            assert tenant.interference_slowdown > 1.2
+
+    def test_pimnet_tenants_nearly_isolated(self, result):
+        for tenant in result.pimnet:
+            assert tenant.interference_slowdown < 1.1
+
+    def test_isolation_benefit_positive(self, result):
+        assert result.isolation_benefit() > 1.2
+
+    def test_alone_times_positive(self, result):
+        for pair in (result.baseline, result.pimnet):
+            for tenant in pair:
+                assert tenant.alone_s > 0
+                assert tenant.shared_s >= tenant.alone_s
+
+
+class TestStructure:
+    def test_both_tenants_reported(self, result):
+        assert result.baseline[0].workload == "CC"
+        assert result.baseline[1].workload == "EMB"
+
+    def test_backend_labels(self, result):
+        assert {t.backend for t in result.baseline} == {"B"}
+        assert {t.backend for t in result.pimnet} == {"P"}
+
+    def test_other_workload_pairs_work(self):
+        quick = run_multitenancy(
+            GemvWorkload(batch=1), GemvWorkload(batch=1)
+        )
+        assert quick.isolation_benefit() >= 1.0

@@ -1,0 +1,95 @@
+"""Roofline models (Fig 2)."""
+
+import pytest
+
+from repro.analysis import RooflineModel
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RooflineModel()
+
+
+class TestMachineCeilings:
+    def test_peak_is_dpus_times_dpu_peak(self, model):
+        assert model.peak_ops_per_s() == pytest.approx(256 * 350e6)
+
+    def test_internal_bandwidth_aggregate(self, model):
+        assert model.internal_bandwidth_bytes_per_s() == pytest.approx(
+            256 * 0.63e9
+        )
+
+    def test_collective_bandwidth_ordering(self, model):
+        bws = {
+            k: model.collective_bandwidth_bytes_per_s(k)
+            for k in ("B", "S", "MaxBW", "P")
+        }
+        assert bws["B"] < bws["S"] < bws["MaxBW"] < bws["P"]
+
+
+class TestClassicRoofline:
+    def test_low_intensity_is_memory_bound(self, model):
+        low = model.classic_attainable(0.01, "P")
+        assert low == pytest.approx(
+            0.01 * model.internal_bandwidth_bytes_per_s()
+        )
+
+    def test_pimnet_reaches_compute_peak(self, model):
+        assert model.classic_attainable(1024, "P") == pytest.approx(
+            model.peak_ops_per_s()
+        )
+
+    def test_baseline_is_comm_capped(self, model):
+        assert model.classic_attainable(1024, "B") < (
+            0.2 * model.peak_ops_per_s()
+        )
+
+    def test_software_ideal_capped_near_eighth_of_peak(self, model):
+        """Paper: PIMnet achieves ~8x the Software(Ideal) throughput."""
+        ratio = model.classic_attainable(1024, "P") / model.classic_attainable(
+            1024, "S"
+        )
+        assert 5 <= ratio <= 12
+
+    def test_intensity_must_be_positive(self, model):
+        with pytest.raises(ReproError):
+            model.classic_attainable(0, "P")
+
+
+class TestCommRoofline:
+    def test_slope_region_linear(self, model):
+        low = model.comm_attainable(0.01, "S")
+        double = model.comm_attainable(0.02, "S")
+        assert double == pytest.approx(2 * low)
+
+    def test_all_hit_peak_eventually(self, model):
+        for key in ("B", "S", "MaxBW", "P"):
+            assert model.comm_attainable(1e6, key) == pytest.approx(
+                model.peak_ops_per_s()
+            )
+
+    def test_pimnet_least_comm_bound(self, model):
+        """At any fixed intensity PIMnet attains the most throughput."""
+        ci = 0.5
+        values = [
+            model.comm_attainable(ci, k) for k in ("B", "S", "MaxBW", "P")
+        ]
+        assert values[-1] == max(values)
+
+
+class TestSeries:
+    def test_series_shapes(self, model):
+        series = model.all_series("comm")
+        assert [s.backend for s in series] == ["B", "MaxBW", "S", "P"]
+        lengths = {len(s.points) for s in series}
+        assert len(lengths) == 1
+
+    def test_series_monotone_nondecreasing(self, model):
+        for series in model.all_series("classic"):
+            values = [p.ops_per_s for p in series.points]
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_unknown_view_rejected(self, model):
+        with pytest.raises(ReproError):
+            model.all_series("sideways")

@@ -1,0 +1,87 @@
+"""Schedule bandwidth-utilization analysis."""
+
+import pytest
+
+from repro.analysis import schedule_utilization
+from repro.core import (
+    Shape,
+    Tier,
+    allreduce_schedule,
+    alltoall_schedule,
+    reduce_scatter_schedule,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def full_shape():
+    return Shape(8, 8, 4)
+
+
+class TestAllReduceUtilization:
+    def test_ring_phases_saturate_their_tiers(self, full_shape):
+        """Bandwidth parallelism: every chip's ring busy during bank
+        phases, every DQ busy during chip phases."""
+        report = schedule_utilization(
+            allreduce_schedule(full_shape, full_shape.num_dpus * 16)
+        )
+        assert report.for_tier(Tier.BANK).utilization > 0.95
+        assert report.for_tier(Tier.CHIP).utilization > 0.9
+
+    def test_bytes_accounted(self, full_shape):
+        e = full_shape.num_dpus * 16
+        report = schedule_utilization(allreduce_schedule(full_shape, e))
+        # bank tier moves 2 x (B-1)/B x payload per bank
+        payload = e * 8
+        expected = (
+            2 * (7 / 8) * payload * full_shape.num_dpus
+        )
+        assert report.for_tier(Tier.BANK).bytes_moved == pytest.approx(
+            expected
+        )
+
+
+class TestAllToAllUtilization:
+    def test_bus_utilization_reflects_unicast_derating(self, full_shape):
+        report = schedule_utilization(
+            alltoall_schedule(full_shape, full_shape.num_dpus * 16)
+        )
+        rank = report.for_tier(Tier.RANK)
+        assert 0.3 < rank.utilization < 0.7  # ~0.5 unicast efficiency
+
+    def test_bank_tier_underutilized_for_a2a(self, full_shape):
+        """A2A's intra-chip traffic is tiny; rings mostly idle."""
+        a2a = schedule_utilization(
+            alltoall_schedule(full_shape, full_shape.num_dpus * 16)
+        )
+        ar = schedule_utilization(
+            allreduce_schedule(full_shape, full_shape.num_dpus * 16)
+        )
+        assert (
+            a2a.for_tier(Tier.BANK).utilization
+            < ar.for_tier(Tier.BANK).utilization
+        )
+
+
+class TestEdgeCases:
+    def test_degenerate_tier_reports_zero(self):
+        shape = Shape(4, 1, 1)
+        report = schedule_utilization(
+            reduce_scatter_schedule(shape, shape.num_dpus * 8)
+        )
+        assert report.for_tier(Tier.CHIP).bytes_moved == 0
+        assert report.for_tier(Tier.CHIP).utilization == 0.0
+
+    def test_missing_tier_lookup_raises(self, full_shape):
+        report = schedule_utilization(
+            allreduce_schedule(full_shape, full_shape.num_dpus * 16)
+        )
+        with pytest.raises(ReproError):
+            report.for_tier(Tier.LOCAL)
+
+    def test_utilization_capped_at_one(self, full_shape):
+        report = schedule_utilization(
+            allreduce_schedule(full_shape, full_shape.num_dpus * 16)
+        )
+        for entry in report.tiers:
+            assert 0.0 <= entry.utilization <= 1.0

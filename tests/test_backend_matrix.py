@@ -1,0 +1,154 @@
+"""Cross-backend property matrix: structural invariants of every timing
+model over every pattern, payload, and machine scale."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import Collective, CollectiveRequest, registry
+from repro.config import pimnet_sim_system
+from repro.experiments.common import scaled_machine
+
+MACHINE = pimnet_sim_system()
+ALL_PATTERNS = list(Collective)
+BACKENDS = ("B", "S", "MaxBW", "D", "N", "P")
+
+
+def req(pattern, payload=32 * 1024):
+    return CollectiveRequest(pattern, payload, dtype=np.dtype(np.int64))
+
+
+def supported_pairs():
+    pairs = []
+    for key in BACKENDS:
+        backend = registry.create(key, MACHINE)
+        for pattern in ALL_PATTERNS:
+            if backend.supports(pattern):
+                pairs.append((key, pattern))
+    return pairs
+
+
+@pytest.mark.parametrize("key,pattern", supported_pairs())
+class TestEveryBackendPatternPair:
+    def test_time_is_positive_and_finite(self, key, pattern):
+        breakdown = registry.create(key, MACHINE).timing(req(pattern))
+        assert 0 < breakdown.total_s < 10.0
+
+    def test_components_nonnegative(self, key, pattern):
+        breakdown = registry.create(key, MACHINE).timing(req(pattern))
+        for name, value in breakdown.as_dict().items():
+            assert value >= 0, name
+
+    def test_monotone_in_payload(self, key, pattern):
+        backend = registry.create(key, MACHINE)
+        small = backend.timing(req(pattern, 8 * 1024)).total_s
+        large = backend.timing(req(pattern, 128 * 1024)).total_s
+        assert large > small
+
+    def test_timing_deterministic(self, key, pattern):
+        backend = registry.create(key, MACHINE)
+        a = backend.timing(req(pattern)).total_s
+        b = backend.timing(req(pattern)).total_s
+        assert a == b
+
+    def test_run_matches_timing(self, key, pattern):
+        backend = registry.create(key, MACHINE)
+        result = backend.run(req(pattern))
+        assert result.time_s == pytest.approx(
+            backend.timing(req(pattern)).total_s
+        )
+
+
+class TestScaleMonotonicity:
+    @pytest.mark.parametrize("pattern", [
+        Collective.ALL_REDUCE, Collective.ALL_TO_ALL,
+    ])
+    def test_host_backends_degrade_linearly_with_dpus(self, pattern):
+        """Host-path time is dominated by N x payload gathers."""
+        t64 = registry.create(
+            "B", scaled_machine(MACHINE, 64)
+        ).timing(req(pattern)).total_s
+        t256 = registry.create(
+            "B", scaled_machine(MACHINE, 256)
+        ).timing(req(pattern)).total_s
+        assert 3.0 < t256 / t64 < 4.5
+
+    def test_pimnet_allreduce_is_nearly_scale_free(self):
+        """Ring phases depend on tier sizes, not total DPU count."""
+        t64 = registry.create(
+            "P", scaled_machine(MACHINE, 64)
+        ).timing(req(Collective.ALL_REDUCE)).total_s
+        t256 = registry.create(
+            "P", scaled_machine(MACHINE, 256)
+        ).timing(req(Collective.ALL_REDUCE)).total_s
+        assert t256 / t64 < 1.5
+
+    def test_pimnet_alltoall_grows_with_scale(self):
+        """A2A total traffic grows with N, so even PIMnet slows."""
+        t64 = registry.create(
+            "P", scaled_machine(MACHINE, 64)
+        ).timing(req(Collective.ALL_TO_ALL)).total_s
+        t256 = registry.create(
+            "P", scaled_machine(MACHINE, 256)
+        ).timing(req(Collective.ALL_TO_ALL)).total_s
+        assert t256 > 2 * t64
+
+
+class TestPatternRelations:
+    def test_allreduce_costs_about_two_reduce_scatters(self):
+        """AR = RS + AG; on PIMnet the mirror phases cost the same."""
+        backend = registry.create("P", MACHINE)
+        ar = backend.timing(req(Collective.ALL_REDUCE)).total_s
+        rs = backend.timing(req(Collective.REDUCE_SCATTER)).total_s
+        assert 1.5 < ar / rs < 2.5
+
+    def test_broadcast_cheaper_than_allgather(self):
+        backend = registry.create("P", MACHINE)
+        bc = backend.timing(req(Collective.BROADCAST)).total_s
+        ag = backend.timing(req(Collective.ALL_GATHER)).total_s
+        assert bc < ag
+
+    def test_reduce_cheaper_than_allreduce_on_host_path(self):
+        backend = registry.create("S", MACHINE)
+        r = backend.timing(req(Collective.REDUCE)).total_s
+        ar = backend.timing(req(Collective.ALL_REDUCE)).total_s
+        assert r <= ar * 1.01
+
+
+class TestBandwidthSensitivity:
+    def test_pimnet_insensitive_to_host_links(self):
+        """PIMnet never touches the host, so host-link speed is moot."""
+        from dataclasses import replace
+
+        from repro.config import HostLinkConfig
+
+        slow_host = replace(
+            MACHINE,
+            host_links=HostLinkConfig(
+                pim_to_cpu_bytes_per_s=1e8,
+                cpu_to_pim_bytes_per_s=1e8,
+                cpu_to_pim_broadcast_bytes_per_s=1e8,
+                max_channel_bytes_per_s=1e9,
+            ),
+        )
+        normal = registry.create("P", MACHINE).timing(
+            req(Collective.ALL_REDUCE)
+        )
+        degraded = registry.create("P", slow_host).timing(
+            req(Collective.ALL_REDUCE)
+        )
+        assert normal.total_s == pytest.approx(degraded.total_s)
+
+    def test_baseline_insensitive_to_pimnet_fabric(self):
+        from dataclasses import replace
+
+        fast_fabric = replace(
+            MACHINE,
+            pimnet=MACHINE.pimnet.with_inter_bank_bandwidth(100.0),
+        )
+        normal = registry.create("B", MACHINE).timing(
+            req(Collective.ALL_REDUCE)
+        )
+        boosted = registry.create("B", fast_fabric).timing(
+            req(Collective.ALL_REDUCE)
+        )
+        assert normal.total_s == pytest.approx(boosted.total_s)

@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig02", "fig10", "fig13", "table04", "ablations"):
+            assert key in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "Ring(inter-bank)" in out
+
+    def test_run_two_panel_experiment(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3a" in out and "Fig 3b" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_summarizes_machine(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "256 DPUs" in out
+        assert "inter-rank 16.80 GB/s" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestVerify:
+    def test_verify_passes(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all workloads verified" in out
+        assert "GEMV" in out and "NTT" in out

@@ -1,0 +1,128 @@
+"""Backend-independent functional semantics of every collective."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    Collective,
+    CollectiveRequest,
+    ReduceOp,
+    functional,
+)
+from repro.errors import CollectiveError
+
+from .conftest import make_buffers
+
+N = 8
+E = 16  # elements per DPU
+
+
+def request(pattern, op=ReduceOp.SUM, root=0):
+    return CollectiveRequest(
+        pattern, E * 8, dtype=np.dtype(np.int64), op=op, root=root
+    )
+
+
+class TestAllReduce:
+    def test_every_dpu_gets_the_sum(self, rng):
+        buffers = make_buffers(N, E, rng)
+        total = np.sum(buffers, axis=0)
+        outputs = functional.execute(request(Collective.ALL_REDUCE), buffers)
+        assert len(outputs) == N
+        for out in outputs:
+            assert np.array_equal(out, total)
+
+    def test_min_op(self, rng):
+        buffers = make_buffers(N, E, rng)
+        outputs = functional.execute(
+            request(Collective.ALL_REDUCE, op=ReduceOp.MIN), buffers
+        )
+        assert np.array_equal(outputs[0], np.min(buffers, axis=0))
+
+    def test_inputs_not_mutated(self, rng):
+        buffers = make_buffers(N, E, rng)
+        snapshots = [b.copy() for b in buffers]
+        functional.execute(request(Collective.ALL_REDUCE), buffers)
+        for buf, snap in zip(buffers, snapshots):
+            assert np.array_equal(buf, snap)
+
+
+class TestReduceScatter:
+    def test_shards_partition_the_sum(self, rng):
+        buffers = make_buffers(N, E, rng)
+        total = np.sum(buffers, axis=0)
+        outputs = functional.execute(
+            request(Collective.REDUCE_SCATTER), buffers
+        )
+        assert np.array_equal(np.concatenate(outputs), total)
+        for out in outputs:
+            assert out.size == E // N
+
+
+class TestAllGather:
+    def test_everyone_gets_concatenation(self, rng):
+        buffers = make_buffers(N, E, rng)
+        outputs = functional.execute(request(Collective.ALL_GATHER), buffers)
+        expected = np.concatenate(buffers)
+        for out in outputs:
+            assert np.array_equal(out, expected)
+
+
+class TestAllToAll:
+    def test_transpose_of_chunks(self, rng):
+        buffers = make_buffers(N, E, rng)
+        outputs = functional.execute(request(Collective.ALL_TO_ALL), buffers)
+        chunk = E // N
+        for dst in range(N):
+            for src in range(N):
+                assert np.array_equal(
+                    outputs[dst][src * chunk : (src + 1) * chunk],
+                    buffers[src][dst * chunk : (dst + 1) * chunk],
+                )
+
+    def test_alltoall_is_involution(self, rng):
+        buffers = make_buffers(N, E, rng)
+        once = functional.execute(request(Collective.ALL_TO_ALL), buffers)
+        twice = functional.execute(request(Collective.ALL_TO_ALL), once)
+        for a, b in zip(buffers, twice):
+            assert np.array_equal(a, b)
+
+
+class TestRooted:
+    def test_broadcast(self, rng):
+        buffers = make_buffers(N, E, rng)
+        outputs = functional.execute(
+            request(Collective.BROADCAST, root=3), buffers
+        )
+        for out in outputs:
+            assert np.array_equal(out, buffers[3])
+
+    def test_reduce_root_only(self, rng):
+        buffers = make_buffers(N, E, rng)
+        outputs = functional.execute(
+            request(Collective.REDUCE, root=2), buffers
+        )
+        assert np.array_equal(outputs[2], np.sum(buffers, axis=0))
+        for i, out in enumerate(outputs):
+            if i != 2:
+                assert out.size == 0
+
+    def test_gather_root_only(self, rng):
+        buffers = make_buffers(N, E, rng)
+        outputs = functional.execute(
+            request(Collective.GATHER, root=5), buffers
+        )
+        assert np.array_equal(outputs[5], np.concatenate(buffers))
+        assert outputs[0].size == 0
+
+
+class TestInputValidation:
+    def test_empty_buffer_list(self):
+        with pytest.raises(CollectiveError):
+            functional.execute(request(Collective.ALL_REDUCE), [])
+
+    def test_wrong_buffer_size(self, rng):
+        buffers = make_buffers(N, E, rng)
+        buffers[3] = buffers[3][:-1]
+        with pytest.raises(CollectiveError):
+            functional.execute(request(Collective.ALL_REDUCE), buffers)

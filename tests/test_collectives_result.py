@@ -1,0 +1,60 @@
+"""CommBreakdown arithmetic and accumulation."""
+
+import pytest
+
+from repro.collectives import CollectiveResult, CommBreakdown, CommStats
+from repro.errors import CollectiveError
+
+
+class TestCommBreakdown:
+    def test_total_sums_components(self):
+        b = CommBreakdown(
+            inter_bank_s=1, inter_chip_s=2, inter_rank_s=3,
+            host_transfer_s=4, host_compute_s=5, sync_s=6, mem_s=7,
+        )
+        assert b.total_s == pytest.approx(28)
+
+    def test_addition(self):
+        a = CommBreakdown(inter_bank_s=1, sync_s=0.5)
+        b = CommBreakdown(inter_bank_s=2, mem_s=1)
+        c = a + b
+        assert c.inter_bank_s == pytest.approx(3)
+        assert c.sync_s == pytest.approx(0.5)
+        assert c.mem_s == pytest.approx(1)
+
+    def test_scaled(self):
+        b = CommBreakdown(inter_rank_s=2).scaled(3)
+        assert b.inter_rank_s == pytest.approx(6)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(CollectiveError):
+            CommBreakdown().scaled(-1)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(CollectiveError):
+            CommBreakdown(sync_s=-1)
+
+    def test_as_dict_round_trip(self):
+        b = CommBreakdown(inter_bank_s=1.5)
+        d = b.as_dict()
+        assert d["inter_bank_s"] == pytest.approx(1.5)
+        assert set(d) == {
+            "inter_bank_s", "inter_chip_s", "inter_rank_s",
+            "host_transfer_s", "host_compute_s", "sync_s", "mem_s",
+        }
+
+
+class TestCommStats:
+    def test_accumulates_results_and_breakdowns(self):
+        stats = CommStats()
+        stats.add(CommBreakdown(inter_bank_s=1))
+        stats.add(
+            CollectiveResult(breakdown=CommBreakdown(inter_chip_s=2))
+        )
+        assert stats.num_collectives == 2
+        assert stats.total_s == pytest.approx(3)
+
+    def test_collective_result_time(self):
+        result = CollectiveResult(breakdown=CommBreakdown(sync_s=1e-6))
+        assert result.time_s == pytest.approx(1e-6)
+        assert result.outputs is None

@@ -1,0 +1,72 @@
+"""Compute profiles: UPMEM costs and alternative-PIM scaling."""
+
+import pytest
+
+from repro.config import (
+    ALT_PIM_PROFILES,
+    ComputeProfile,
+    Op,
+    UPMEM_OP_COSTS,
+    gddr6_aim_profile,
+    hbm_pim_profile,
+    upmem_profile,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUpmemCosts:
+    def test_emulated_multiply_is_expensive(self):
+        assert UPMEM_OP_COSTS[Op.INT_MUL] == 32.0
+        assert UPMEM_OP_COSTS[Op.INT_MUL] > 10 * UPMEM_OP_COSTS[Op.INT_ADD]
+
+    def test_all_ops_have_costs(self):
+        assert set(UPMEM_OP_COSTS) == set(Op)
+
+    def test_float_is_emulated_too(self):
+        assert UPMEM_OP_COSTS[Op.FLOAT_MUL] > UPMEM_OP_COSTS[Op.INT_MUL]
+
+
+class TestComputeProfile:
+    def test_slots_scale_with_count(self):
+        profile = upmem_profile()
+        assert profile.slots(Op.INT_ADD, 10) == pytest.approx(10.0)
+        assert profile.slots(Op.INT_MUL, 2) == pytest.approx(64.0)
+
+    def test_throughput_scale_divides_slots(self):
+        fast = ComputeProfile(name="fast", throughput_scale=4.0)
+        assert fast.slots(Op.INT_MUL, 1) == pytest.approx(8.0)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            upmem_profile().slots(Op.INT_ADD, -1)
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ConfigurationError):
+            ComputeProfile(name="bad", throughput_scale=0)
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ConfigurationError):
+            ComputeProfile(name="bad", op_costs={Op.INT_ADD: 1.0})
+
+    def test_rejects_zero_memory_scale(self):
+        with pytest.raises(ConfigurationError):
+            ComputeProfile(name="bad", memory_scale=0)
+
+
+class TestAlternativeProfiles:
+    def test_registry_contents(self):
+        assert set(ALT_PIM_PROFILES) >= {"UPMEM", "HBM-PIM", "GDDR6-AiM"}
+
+    def test_aim_is_180x_upmem(self):
+        assert gddr6_aim_profile().throughput_scale == pytest.approx(180.0)
+
+    def test_ordering_of_throughput(self):
+        assert (
+            upmem_profile().throughput_scale
+            < hbm_pim_profile().throughput_scale
+            < gddr6_aim_profile().throughput_scale
+        )
+
+    def test_hw_mac_pims_have_wider_memory(self):
+        assert hbm_pim_profile().memory_scale > 1
+        assert gddr6_aim_profile().memory_scale > 1

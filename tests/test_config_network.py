@@ -1,0 +1,123 @@
+"""Network configuration: Table IV values and sweep helpers."""
+
+import pytest
+
+from repro.config import (
+    BufferChipConfig,
+    HostLinkConfig,
+    PimnetNetworkConfig,
+    TierLinkConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTierLinkConfig:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            TierLinkConfig("x", 0, 16, 1e9, 0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TierLinkConfig("x", 1, 16, 0, 0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            TierLinkConfig("x", 1, 16, 1e9, -1e-9)
+
+
+class TestTableIvDefaults:
+    def test_inter_bank_row(self):
+        net = PimnetNetworkConfig()
+        assert net.inter_bank.num_channels == 4
+        assert net.inter_bank.width_bits == 16
+        assert net.inter_bank.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(0.7e9)
+        )
+
+    def test_inter_chip_row(self):
+        net = PimnetNetworkConfig()
+        assert net.inter_chip.num_channels == 2
+        assert net.inter_chip.width_bits == 4
+        assert net.inter_chip.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(1.05e9)
+        )
+
+    def test_inter_rank_row(self):
+        net = PimnetNetworkConfig()
+        assert net.inter_rank.num_channels == 1
+        assert net.inter_rank.width_bits == 64
+        assert net.inter_rank.half_duplex
+        assert net.inter_rank.broadcast_capable
+        assert net.inter_rank.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(16.8e9)
+        )
+
+    def test_sync_latency_matches_paper(self):
+        assert PimnetNetworkConfig().sync_latency_s == pytest.approx(15e-9)
+
+
+class TestSweepHelpers:
+    def test_with_inter_bank_bandwidth(self):
+        net = PimnetNetworkConfig().with_inter_bank_bandwidth(0.1)
+        assert net.inter_bank.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(0.1e9)
+        )
+        # other tiers untouched
+        assert net.inter_chip.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(1.05e9)
+        )
+
+    def test_with_global_scale(self):
+        net = PimnetNetworkConfig().with_global_bandwidth_scale(0.5)
+        assert net.inter_chip.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(0.525e9)
+        )
+        assert net.inter_rank.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(8.4e9)
+        )
+        assert net.inter_bank.bandwidth_per_channel_bytes_per_s == (
+            pytest.approx(0.7e9)
+        )
+
+    def test_global_scale_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            PimnetNetworkConfig().with_global_bandwidth_scale(0)
+
+    def test_unicast_efficiency_validated(self):
+        with pytest.raises(ConfigurationError):
+            PimnetNetworkConfig(inter_rank_unicast_efficiency=0)
+        with pytest.raises(ConfigurationError):
+            PimnetNetworkConfig(inter_rank_unicast_efficiency=1.5)
+
+
+class TestHostLinks:
+    def test_measured_upmem_bandwidths(self):
+        links = HostLinkConfig()
+        assert links.pim_to_cpu_bytes_per_s == pytest.approx(4.74e9)
+        assert links.cpu_to_pim_bytes_per_s == pytest.approx(6.68e9)
+        assert links.cpu_to_pim_broadcast_bytes_per_s == (
+            pytest.approx(16.88e9)
+        )
+        assert links.max_channel_bytes_per_s == pytest.approx(19.2e9)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            HostLinkConfig(pim_to_cpu_bytes_per_s=0)
+
+
+class TestBufferChip:
+    def test_defaults(self):
+        cfg = BufferChipConfig()
+        assert cfg.bank_to_buffer_bytes_per_s == pytest.approx(19.2e9)
+        assert cfg.chip_dq_bytes_per_s == pytest.approx(2.4e9)
+        assert cfg.inter_rank_link_bytes_per_s == pytest.approx(16.8e9)
+
+    def test_chip_dq_is_one_eighth_of_rank(self):
+        cfg = BufferChipConfig()
+        assert cfg.chip_dq_bytes_per_s * 8 == pytest.approx(
+            cfg.bank_to_buffer_bytes_per_s
+        )
+
+    def test_rejects_zero_dq(self):
+        with pytest.raises(ConfigurationError):
+            BufferChipConfig(chip_dq_bytes_per_s=0)

@@ -1,0 +1,62 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.config import units
+
+
+class TestConstants:
+    def test_binary_vs_decimal_sizes(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024 ** 2
+        assert units.GIB == 1024 ** 3
+        assert units.KB == 1000
+        assert units.GB == 10 ** 9
+
+    def test_time_constants(self):
+        assert units.NS == pytest.approx(1e-9)
+        assert units.US == pytest.approx(1e-6)
+        assert units.MS == pytest.approx(1e-3)
+
+
+class TestConversions:
+    def test_bytes_per_second(self):
+        assert units.bytes_per_second(16.8) == pytest.approx(16.8e9)
+
+    def test_cycles_round_trip(self):
+        cycles = units.seconds_to_cycles(1e-6, 350e6)
+        assert cycles == pytest.approx(350)
+        assert units.cycles_to_seconds(cycles, 350e6) == pytest.approx(1e-6)
+
+    def test_cycles_to_seconds_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(100, 0)
+
+    def test_transfer_time_basic(self):
+        assert units.transfer_time(1e9, 1e9) == pytest.approx(1.0)
+
+    def test_transfer_time_zero_bytes_is_free(self):
+        assert units.transfer_time(0, 1e9) == 0.0
+
+    def test_transfer_time_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(-1, 1e9)
+
+    def test_transfer_time_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_time(10, 0)
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert "KiB" in units.fmt_bytes(2048)
+        assert "MiB" in units.fmt_bytes(5 * units.MIB)
+        assert "GiB" in units.fmt_bytes(3 * units.GIB)
+
+    def test_fmt_seconds_scales(self):
+        assert units.fmt_seconds(0) == "0 s"
+        assert "ns" in units.fmt_seconds(5e-9)
+        assert "us" in units.fmt_seconds(5e-6)
+        assert "ms" in units.fmt_seconds(5e-3)
+        assert units.fmt_seconds(2.0).endswith(" s")

@@ -1,0 +1,80 @@
+"""User-facing PIMnet collective API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    pimnet_all_gather,
+    pimnet_all_reduce,
+    pimnet_all_to_all,
+    pimnet_broadcast,
+    pimnet_reduce_scatter,
+)
+from repro.collectives import ReduceOp
+from repro.errors import CollectiveError
+
+from .conftest import make_buffers
+
+
+class TestAllReduceApi:
+    def test_returns_outputs_and_timing(self, tiny_machine, rng):
+        buffers = make_buffers(8, 16, rng)
+        result = pimnet_all_reduce(buffers, tiny_machine)
+        assert result.backend_name == "PIMnet"
+        assert result.time_s > 0
+        total = np.sum(buffers, axis=0)
+        for out in result.outputs:
+            assert np.array_equal(out, total)
+
+    def test_reduce_op_forwarded(self, tiny_machine, rng):
+        buffers = make_buffers(8, 16, rng)
+        result = pimnet_all_reduce(buffers, tiny_machine, op=ReduceOp.MAX)
+        assert np.array_equal(result.outputs[0], np.max(buffers, axis=0))
+
+    def test_dtype_inferred_from_buffers(self, tiny_machine, rng):
+        buffers = make_buffers(8, 16, rng, dtype=np.int32)
+        result = pimnet_all_reduce(buffers, tiny_machine)
+        assert result.outputs[0].dtype == np.int32
+
+    def test_buffer_count_must_match_machine(self, tiny_machine, rng):
+        with pytest.raises(CollectiveError):
+            pimnet_all_reduce(make_buffers(4, 16, rng), tiny_machine)
+
+    def test_empty_buffer_list_rejected(self, tiny_machine):
+        with pytest.raises(CollectiveError):
+            pimnet_all_reduce([], tiny_machine)
+
+
+class TestOtherPatterns:
+    def test_reduce_scatter(self, tiny_machine, rng):
+        buffers = make_buffers(8, 16, rng)
+        result = pimnet_reduce_scatter(buffers, tiny_machine)
+        assert np.array_equal(
+            np.concatenate(result.outputs), np.sum(buffers, axis=0)
+        )
+
+    def test_all_gather(self, tiny_machine, rng):
+        buffers = make_buffers(8, 4, rng)
+        result = pimnet_all_gather(buffers, tiny_machine)
+        expected = np.concatenate(buffers)
+        for out in result.outputs:
+            assert np.array_equal(out, expected)
+
+    def test_all_to_all(self, tiny_machine, rng):
+        buffers = make_buffers(8, 16, rng)
+        result = pimnet_all_to_all(buffers, tiny_machine)
+        chunk = 2
+        assert np.array_equal(
+            result.outputs[1][0:chunk], buffers[0][chunk : 2 * chunk]
+        )
+
+    def test_broadcast_root(self, tiny_machine, rng):
+        buffers = make_buffers(8, 16, rng)
+        result = pimnet_broadcast(buffers, tiny_machine, root=6)
+        for out in result.outputs:
+            assert np.array_equal(out, buffers[6])
+
+    def test_default_machine_is_full_channel(self, rng):
+        buffers = make_buffers(256, 4, rng)
+        result = pimnet_all_reduce(buffers)
+        assert len(result.outputs) == 256

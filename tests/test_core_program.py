@@ -1,0 +1,141 @@
+"""Per-bank PIM communication programs (Fig 5(c)/(d))."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import Collective, CollectiveRequest, ReduceOp, functional
+from repro.core import (
+    PimOp,
+    Shape,
+    allreduce_schedule,
+    alltoall_schedule,
+    broadcast_schedule,
+    generate_programs,
+    reduce_scatter_schedule,
+    run_programs,
+)
+from repro.errors import ScheduleError
+
+from .conftest import make_buffers
+
+
+class TestGeneration:
+    def test_every_bank_gets_a_stream(self):
+        shape = Shape(2, 2, 2)
+        programs = generate_programs(allreduce_schedule(shape, 16))
+        assert set(programs) == set(range(8))
+
+    def test_streams_end_with_done(self):
+        programs = generate_programs(
+            allreduce_schedule(Shape(2, 2, 2), 16)
+        )
+        for stream in programs.values():
+            assert stream[-1].op is PimOp.DONE
+
+    def test_lockstep_barrier_structure(self):
+        """All banks see the same POLL/WAIT skeleton — the property that
+        makes contention-free channel sharing possible."""
+        programs = generate_programs(
+            allreduce_schedule(Shape(2, 2, 2), 16)
+        )
+        skeletons = {
+            tuple(
+                inst.op
+                for inst in stream
+                if inst.op in (PimOp.POLL, PimOp.WAIT, PimOp.DONE)
+            )
+            for stream in programs.values()
+        }
+        assert len(skeletons) == 1
+
+    def test_polls_match_phase_count(self):
+        sched = allreduce_schedule(Shape(2, 2, 2), 16)
+        programs = generate_programs(sched)
+        polls = sum(
+            1 for inst in programs[0] if inst.op is PimOp.POLL
+        )
+        assert polls == len(sched.phases)
+
+    def test_sends_and_recvs_pair_up(self):
+        programs = generate_programs(
+            allreduce_schedule(Shape(2, 2, 2), 16)
+        )
+        sends = sum(
+            1
+            for stream in programs.values()
+            for inst in stream
+            if inst.op is PimOp.SEND
+        )
+        recvs = sum(
+            1
+            for stream in programs.values()
+            for inst in stream
+            if inst.op in (PimOp.RECV, PimOp.RECV_REDUCE)
+        )
+        assert sends == recvs > 0
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "generator,pattern",
+        [
+            (allreduce_schedule, Collective.ALL_REDUCE),
+            (alltoall_schedule, Collective.ALL_TO_ALL),
+        ],
+    )
+    def test_matches_functional_reference(self, generator, pattern, rng):
+        shape = Shape(2, 2, 2)
+        e = 16
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        programs = generate_programs(generator(shape, e))
+        out = run_programs(programs, buffers)
+        ref = functional.execute(
+            CollectiveRequest(pattern, e * 8, dtype=np.dtype(np.int64)),
+            buffers,
+        )
+        for a, b in zip(out, ref):
+            assert np.array_equal(a, b)
+
+    def test_reduce_scatter_with_min(self, rng):
+        shape = Shape(2, 2, 1)
+        e = 16
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        programs = generate_programs(reduce_scatter_schedule(shape, e))
+        out = run_programs(programs, buffers, op=ReduceOp.MIN)
+        total = np.min(buffers, axis=0)
+        shard = e // shape.num_dpus
+        for d in range(shape.num_dpus):
+            assert np.array_equal(
+                out[d][d * shard : (d + 1) * shard],
+                total[d * shard : (d + 1) * shard],
+            )
+
+    def test_broadcast_program(self, rng):
+        shape = Shape(2, 2, 2)
+        buffers = make_buffers(shape.num_dpus, 8, rng)
+        programs = generate_programs(broadcast_schedule(shape, 8, root=5))
+        out = run_programs(programs, buffers)
+        for buf in out:
+            assert np.array_equal(buf, buffers[5])
+
+    def test_desynchronized_program_detected(self, rng):
+        """Dropping one bank's RECV leaves an undelivered SEND."""
+        shape = Shape(2, 1, 1)
+        programs = generate_programs(allreduce_schedule(shape, 4))
+        broken = {
+            d: [
+                inst
+                for inst in stream
+                if not (
+                    d == 1 and inst.op in (PimOp.RECV, PimOp.RECV_REDUCE)
+                )
+            ]
+            for d, stream in programs.items()
+        }
+        with pytest.raises(ScheduleError):
+            run_programs(broken, make_buffers(2, 4, rng))
+
+    def test_wrong_buffer_count_rejected(self, rng):
+        programs = generate_programs(allreduce_schedule(Shape(2, 1, 1), 4))
+        with pytest.raises(ScheduleError):
+            run_programs(programs, make_buffers(3, 4, rng))

@@ -1,0 +1,197 @@
+"""Static schedules: functional correctness against the reference."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import Collective, CollectiveRequest, ReduceOp, functional
+from repro.core import (
+    Shape,
+    allreduce_schedule,
+    alltoall_schedule,
+    broadcast_schedule,
+    build_schedule,
+    execute_schedule,
+    owned_range,
+    reduce_scatter_schedule,
+)
+from repro.errors import ScheduleError
+
+from .conftest import make_buffers
+
+SHAPES = [
+    Shape(2, 2, 2),
+    Shape(4, 2, 2),
+    Shape(2, 4, 2),
+    Shape(2, 2, 4),
+    Shape(8, 1, 1),
+    Shape(1, 8, 1),
+    Shape(1, 1, 4),
+    Shape(4, 4, 1),
+    Shape(3, 2, 2),  # non-power-of-two banks
+    Shape(2, 3, 2),  # non-power-of-two chips
+]
+
+
+def reference(pattern, buffers, op=ReduceOp.SUM, root=0):
+    e = buffers[0].size
+    return functional.execute(
+        CollectiveRequest(
+            pattern, e * 8, dtype=np.dtype(np.int64), op=op, root=root
+        ),
+        buffers,
+    )
+
+
+class TestShape:
+    def test_dpu_coords_round_trip(self):
+        shape = Shape(4, 3, 2)
+        for d in range(shape.num_dpus):
+            r, c, b = shape.coords(d)
+            assert shape.dpu(r, c, b) == d
+
+    def test_rank_is_fastest_axis(self):
+        shape = Shape(2, 2, 2)
+        assert shape.coords(0) == (0, 0, 0)
+        assert shape.coords(1) == (1, 0, 0)
+        assert shape.coords(2) == (0, 1, 0)
+        assert shape.coords(4) == (0, 0, 1)
+
+    def test_invalid_coords_rejected(self):
+        with pytest.raises(ScheduleError):
+            Shape(2, 2, 2).dpu(2, 0, 0)
+        with pytest.raises(ScheduleError):
+            Shape(2, 2, 2).coords(8)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ScheduleError):
+            Shape(0, 1, 1)
+
+
+class TestOwnedRange:
+    def test_shards_tile_the_vector(self):
+        shape = Shape(2, 2, 2)
+        e = 64
+        covered = []
+        for d in range(shape.num_dpus):
+            off, length = owned_range(shape, e, d)
+            assert off == d * length
+            covered.extend(range(off, off + length))
+        assert covered == list(range(e))
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ScheduleError):
+            owned_range(Shape(2, 2, 2), 30, 0)
+
+
+class TestAllReduceSchedule:
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    def test_matches_reference(self, shape, rng):
+        e = shape.num_dpus * 4
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        out = execute_schedule(allreduce_schedule(shape, e), buffers)
+        ref = reference(Collective.ALL_REDUCE, buffers)
+        for a, b in zip(out, ref):
+            assert np.array_equal(a, b)
+
+    def test_min_reduction(self, rng):
+        shape = Shape(2, 2, 2)
+        e = 16
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        out = execute_schedule(
+            allreduce_schedule(shape, e), buffers, op=ReduceOp.MIN
+        )
+        ref = reference(Collective.ALL_REDUCE, buffers, op=ReduceOp.MIN)
+        assert np.array_equal(out[0], ref[0])
+
+    def test_phase_order_matches_table_v(self):
+        sched = allreduce_schedule(Shape(2, 2, 2), 8)
+        names = [p.name for p in sched.phases]
+        assert names == [
+            "bank-RS", "chip-RS", "rank-RS", "rank-AG", "chip-AG", "bank-AG",
+        ]
+
+    def test_degenerate_tiers_skipped(self):
+        sched = allreduce_schedule(Shape(4, 1, 1), 8)
+        assert [p.name for p in sched.phases] == ["bank-RS", "bank-AG"]
+
+    def test_indivisible_elements_rejected(self):
+        with pytest.raises(ScheduleError):
+            allreduce_schedule(Shape(2, 2, 2), 9)
+
+
+class TestReduceScatterSchedule:
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    def test_owned_shards_match_reference(self, shape, rng):
+        e = shape.num_dpus * 4
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        out = execute_schedule(reduce_scatter_schedule(shape, e), buffers)
+        ref = reference(Collective.REDUCE_SCATTER, buffers)
+        for d in range(shape.num_dpus):
+            off, length = owned_range(shape, e, d)
+            assert np.array_equal(out[d][off : off + length], ref[d])
+
+
+class TestAllToAllSchedule:
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    def test_matches_reference(self, shape, rng):
+        e = shape.num_dpus * 4
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        out = execute_schedule(alltoall_schedule(shape, e), buffers)
+        ref = reference(Collective.ALL_TO_ALL, buffers)
+        for a, b in zip(out, ref):
+            assert np.array_equal(a, b)
+
+    def test_local_phase_is_first(self):
+        sched = alltoall_schedule(Shape(2, 2, 2), 8)
+        assert sched.phases[0].name == "local-copy"
+        assert sched.phases[0].algorithm == "local"
+
+    def test_rank_phase_is_unicast(self):
+        sched = alltoall_schedule(Shape(2, 2, 2), 8)
+        assert sched.phases[-1].algorithm == "unicast"
+
+
+class TestBroadcastSchedule:
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_all_receive_root_data(self, shape, root, rng):
+        e = 8
+        buffers = make_buffers(shape.num_dpus, e, rng)
+        out = execute_schedule(broadcast_schedule(shape, e, root), buffers)
+        for buf in out:
+            assert np.array_equal(buf, buffers[root])
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ScheduleError):
+            broadcast_schedule(Shape(2, 2, 2), 8, root=8)
+
+
+class TestBuildSchedule:
+    def test_dispatch(self):
+        shape = Shape(2, 2, 2)
+        for pattern in (
+            Collective.ALL_REDUCE,
+            Collective.REDUCE_SCATTER,
+            Collective.ALL_TO_ALL,
+            Collective.BROADCAST,
+        ):
+            sched = build_schedule(pattern, shape, 8)
+            assert sched.pattern is pattern
+
+    def test_every_pattern_has_a_generator(self):
+        shape = Shape(2, 2, 2)
+        for pattern in Collective:
+            sched = build_schedule(pattern, shape, 8)
+            assert sched.pattern is pattern
+
+
+class TestExecutorValidation:
+    def test_wrong_buffer_count(self, rng):
+        sched = allreduce_schedule(Shape(2, 2, 2), 8)
+        with pytest.raises(ScheduleError):
+            execute_schedule(sched, make_buffers(4, 8, rng))
+
+    def test_wrong_buffer_size(self, rng):
+        sched = allreduce_schedule(Shape(2, 2, 2), 8)
+        with pytest.raises(ScheduleError):
+            execute_schedule(sched, make_buffers(8, 16, rng))

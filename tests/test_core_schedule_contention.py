@@ -1,0 +1,168 @@
+"""Contention-freedom invariants: the property PIMnet's design rests on.
+
+Because communication is statically scheduled, within any step no two
+transfers may claim the same directed resource: a ring link, a crossbar
+input/output port pair, or (for broadcast-deduped payloads) the bus more
+than once per payload.  These tests verify the *generated* schedules
+actually satisfy the no-buffers/no-arbitration premise of Table III.
+"""
+
+import pytest
+
+from repro.core import (
+    Shape,
+    Tier,
+    allreduce_schedule,
+    alltoall_schedule,
+    broadcast_schedule,
+    reduce_scatter_schedule,
+)
+
+SHAPES = [Shape(8, 8, 4), Shape(4, 4, 2), Shape(2, 2, 2), Shape(8, 4, 2)]
+GENERATORS = [
+    allreduce_schedule,
+    reduce_scatter_schedule,
+    alltoall_schedule,
+]
+
+
+def _bank_links_used(shape, transfer):
+    """Directed ring links (rank, chip, position, direction) of a hop."""
+    r, c, b_src = shape.coords(transfer.src)
+    _, _, b_dst = shape.coords(transfer.dst)
+    east = (b_dst - b_src) % shape.banks
+    west = shape.banks - east
+    direction = +1 if east <= west else -1
+    hops = min(east, west)
+    position = b_src
+    links = []
+    for _ in range(hops):
+        links.append((r, c, position, direction))
+        position = (position + direction) % shape.banks
+    return links
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestRingSteps:
+    def test_ring_rs_ag_steps_use_each_link_once(self, shape, generator):
+        """Ring RS/AG steps place exactly one segment per directed link."""
+        sched = generator(shape, shape.num_dpus * 4)
+        for phase in sched.phases:
+            if phase.tier is not Tier.BANK or phase.algorithm != "ring":
+                continue
+            if sched.pattern.value == "all_to_all":
+                continue  # A2A bank steps are multi-hop by construction
+            for step in phase.steps:
+                seen = set()
+                for t in step.transfers:
+                    for link in _bank_links_used(shape, t):
+                        assert link not in seen, (
+                            f"link {link} used twice in {phase.name}"
+                        )
+                        seen.add(link)
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+class TestCrossbarSteps:
+    def test_chip_permutation_is_conflict_free(self, shape):
+        """Each A2A chip step connects every chip to exactly one partner."""
+        sched = alltoall_schedule(shape, shape.num_dpus * 4)
+        for phase in sched.phases:
+            if phase.tier is not Tier.CHIP:
+                continue
+            for step in phase.steps:
+                # (rank, src_chip) -> set of destination chips
+                partners: dict[tuple, set] = {}
+                for t in step.transfers:
+                    r, c_src, _ = shape.coords(t.src)
+                    _, c_dst, _ = shape.coords(t.dst)
+                    partners.setdefault((r, c_src), set()).add(c_dst)
+                for (r, c_src), dsts in partners.items():
+                    assert len(dsts) == 1, (
+                        f"chip {c_src} targets {dsts} in one step"
+                    )
+
+    def test_chip_ring_steps_single_neighbor(self, shape):
+        sched = allreduce_schedule(shape, shape.num_dpus * 4)
+        for phase in sched.phases:
+            if phase.tier is not Tier.CHIP:
+                continue
+            for step in phase.steps:
+                for t in step.transfers:
+                    r1, c1, b1 = shape.coords(t.src)
+                    r2, c2, b2 = shape.coords(t.dst)
+                    assert r1 == r2 and b1 == b2
+                    assert c2 == (c1 + 1) % shape.chips
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+class TestTierLocality:
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_transfers_stay_within_their_tier(self, shape, generator):
+        """bank steps never cross chips; chip steps never cross ranks."""
+        sched = generator(shape, shape.num_dpus * 4)
+        for phase in sched.phases:
+            for step in phase.steps:
+                for t in step.transfers:
+                    r1, c1, _ = shape.coords(t.src)
+                    r2, c2, _ = shape.coords(t.dst)
+                    if phase.tier is Tier.BANK:
+                        assert (r1, c1) == (r2, c2)
+                    elif phase.tier is Tier.CHIP:
+                        assert r1 == r2
+                    elif phase.tier is Tier.LOCAL:
+                        assert t.src == t.dst
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+class TestConservation:
+    def test_allreduce_moves_expected_bytes(self, shape):
+        """Total ring-RS traffic equals the analytic (n-1)/n * payload."""
+        e = shape.num_dpus * 8
+        sched = allreduce_schedule(shape, e)
+        for phase in sched.phases:
+            if phase.name != "bank-RS":
+                continue
+            total = sum(
+                t.length for s in phase.steps for t in s.transfers
+            )
+            expected = (
+                (shape.banks - 1)
+                * (e // shape.banks)
+                * shape.chips
+                * shape.ranks
+                * shape.banks
+                // shape.banks
+            ) * shape.banks // shape.banks
+            # per chip: B transfers of seg per step, (B-1) steps
+            per_chip = (shape.banks - 1) * shape.banks * (e // shape.banks)
+            assert total == per_chip * shape.chips * shape.ranks
+
+    def test_alltoall_delivers_every_chunk_once(self, shape):
+        e = shape.num_dpus * 4
+        chunk = e // shape.num_dpus
+        sched = alltoall_schedule(shape, e)
+        delivered: dict[tuple, int] = {}
+        for phase in sched.phases:
+            for step in phase.steps:
+                for t in step.transfers:
+                    key = (t.dst, t.dst_offset)
+                    delivered[key] = delivered.get(key, 0) + 1
+        # every (dst, src-chunk) pair delivered exactly once
+        assert len(delivered) == shape.num_dpus * shape.num_dpus
+        assert all(v == 1 for v in delivered.values())
+        assert all(off % chunk == 0 for (_, off) in delivered)
+
+
+class TestBroadcastStructure:
+    def test_rank_phase_dedupes_on_bus(self):
+        """Rank-tier broadcast transfers share source payloads."""
+        shape = Shape(2, 2, 4)
+        sched = broadcast_schedule(shape, 8, root=0)
+        rank_phase = [p for p in sched.phases if p.tier is Tier.RANK][0]
+        assert rank_phase.algorithm == "broadcast"
+        step = rank_phase.steps[0]
+        sources = {(t.src, t.src_offset, t.length) for t in step.transfers}
+        # one payload per chip, each serving ranks-1 destinations
+        assert len(step.transfers) == len(sources) * (shape.ranks - 1)

@@ -1,0 +1,73 @@
+"""READY/START synchronization tree."""
+
+import pytest
+
+from repro.config import PimSystemConfig, PimnetNetworkConfig
+from repro.core import SyncTree
+from repro.errors import ScheduleError
+
+
+def tree(b=8, c=8, r=4):
+    return SyncTree(
+        PimSystemConfig(
+            banks_per_chip=b, chips_per_rank=c, ranks_per_channel=r
+        ),
+        PimnetNetworkConfig(),
+    )
+
+
+class TestLevels:
+    def test_full_channel_needs_three_levels(self):
+        assert tree().levels_for_scope() == 3
+
+    def test_single_rank_needs_two(self):
+        assert tree(r=1).levels_for_scope() == 2
+
+    def test_single_chip_needs_one(self):
+        assert tree(c=1, r=1).levels_for_scope() == 1
+
+
+class TestLatency:
+    def test_full_fabric_matches_paper_estimate(self):
+        """Paper: ~15 ns worst case (about 6 DPU cycles at 350 MHz)."""
+        latency = tree().round_trip_latency_s()
+        assert 10e-9 <= latency <= 30e-9
+        cycles = latency * 350e6
+        assert 3 <= cycles <= 11
+
+    def test_floor_applies_to_small_scopes(self):
+        """Even a one-chip scope pays the configured worst-case floor."""
+        assert tree(c=1, r=1).round_trip_latency_s() == pytest.approx(
+            PimnetNetworkConfig().sync_latency_s
+        )
+
+    def test_latency_monotone_in_levels(self):
+        t = tree()
+        values = [t.round_trip_latency_s(levels) for levels in (1, 2, 3)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ScheduleError):
+            tree().round_trip_latency_s(4)
+
+
+class TestPhaseCost:
+    def test_scales_with_phase_count(self):
+        t = tree()
+        assert t.phase_sync_time_s(6) == pytest.approx(
+            6 * t.round_trip_latency_s()
+        )
+
+    def test_zero_phases_is_free(self):
+        assert tree().phase_sync_time_s(0) == 0.0
+
+    def test_negative_phases_rejected(self):
+        with pytest.raises(ScheduleError):
+            tree().phase_sync_time_s(-1)
+
+    def test_sync_is_small_vs_collective(self):
+        """Paper: sync (~15 ns) is negligible against a 1 KB AllReduce
+        that takes >1000 DPU cycles."""
+        sync = tree().round_trip_latency_s()
+        thousand_cycles = 1000 / 350e6
+        assert sync < thousand_cycles / 50

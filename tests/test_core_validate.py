@@ -1,0 +1,182 @@
+"""Schedule validators + failure injection.
+
+Each test corrupts a known-good schedule in one specific way and checks
+the corresponding validator rejects it — the compiler-side safety net a
+flow-control-free network depends on.
+"""
+
+import pytest
+
+from repro.collectives import Collective
+from repro.core import (
+    CommSchedule,
+    Phase,
+    Shape,
+    Step,
+    Tier,
+    Transfer,
+    allreduce_schedule,
+    alltoall_schedule,
+    build_schedule,
+    validate_bounds,
+    validate_contention_free,
+    validate_schedule,
+    validate_tier_locality,
+)
+from repro.errors import ScheduleError
+
+SHAPE = Shape(2, 2, 2)
+
+
+def rebuild_with(schedule: CommSchedule, phases) -> CommSchedule:
+    return CommSchedule(
+        schedule.pattern, schedule.shape, schedule.num_elements,
+        tuple(phases),
+    )
+
+
+def mutate_first_transfer(schedule: CommSchedule, **overrides) -> CommSchedule:
+    """Replace one field of the very first transfer."""
+    first_phase = schedule.phases[0]
+    first_step = first_phase.steps[0]
+    old = first_step.transfers[0]
+    fields = dict(
+        src=old.src, dst=old.dst, src_offset=old.src_offset,
+        dst_offset=old.dst_offset, length=old.length, combine=old.combine,
+        read_output=old.read_output, into_output=old.into_output,
+    )
+    fields.update(overrides)
+    new_transfers = (Transfer(**fields),) + first_step.transfers[1:]
+    new_phase = Phase(
+        first_phase.tier, first_phase.name,
+        (Step(new_transfers),) + first_phase.steps[1:],
+        first_phase.algorithm,
+    )
+    return rebuild_with(schedule, (new_phase,) + schedule.phases[1:])
+
+
+class TestCleanSchedulesPass:
+    @pytest.mark.parametrize("pattern", list(Collective))
+    @pytest.mark.parametrize(
+        "shape", [Shape(2, 2, 2), Shape(8, 8, 4), Shape(2, 3, 2)], ids=str
+    )
+    def test_all_generators_validate(self, pattern, shape):
+        validate_schedule(build_schedule(pattern, shape, shape.num_dpus * 4))
+
+
+class TestBoundsInjection:
+    def test_endpoint_out_of_range(self):
+        sched = allreduce_schedule(SHAPE, 16)
+        broken = mutate_first_transfer(sched, dst=99)
+        with pytest.raises(ScheduleError, match="endpoint"):
+            validate_bounds(broken)
+
+    def test_source_range_overflow(self):
+        sched = allreduce_schedule(SHAPE, 16)
+        broken = mutate_first_transfer(sched, src_offset=15, length=4)
+        with pytest.raises(ScheduleError, match="source range"):
+            validate_bounds(broken)
+
+    def test_destination_range_overflow(self):
+        sched = allreduce_schedule(SHAPE, 16)
+        broken = mutate_first_transfer(sched, dst_offset=14, length=4)
+        with pytest.raises(ScheduleError, match="destination"):
+            validate_bounds(broken)
+
+    def test_output_buffer_allows_n_times_e(self):
+        sched = alltoall_schedule(SHAPE, 16)
+        validate_bounds(sched)  # chunk offsets up to N*chunk are fine
+
+
+class TestLocalityInjection:
+    def test_bank_phase_crossing_chips(self):
+        sched = allreduce_schedule(SHAPE, 16)
+        # dst in a different chip (dpu 2 = chip 1 under rank-fastest ids)
+        broken = mutate_first_transfer(sched, src=0, dst=2)
+        with pytest.raises(ScheduleError, match="leaves the chip"):
+            validate_tier_locality(broken)
+
+    def test_chip_phase_crossing_ranks(self):
+        sched = allreduce_schedule(SHAPE, 16)
+        chip_index = [p.name for p in sched.phases].index("chip-RS")
+        phase = sched.phases[chip_index]
+        old = phase.steps[0].transfers[0]
+        bad = Transfer(
+            src=old.src, dst=(old.dst + 1) % SHAPE.num_dpus,
+            src_offset=old.src_offset, dst_offset=old.dst_offset,
+            length=old.length, combine=old.combine,
+        )
+        phases = list(sched.phases)
+        phases[chip_index] = Phase(
+            phase.tier, phase.name,
+            (Step((bad,) + phase.steps[0].transfers[1:]),)
+            + phase.steps[1:],
+            phase.algorithm,
+        )
+        broken = rebuild_with(sched, phases)
+        # the mutated destination changes rank (rank-fastest ids)
+        with pytest.raises(ScheduleError):
+            validate_tier_locality(broken)
+
+    def test_local_phase_must_stay_local(self):
+        sched = alltoall_schedule(SHAPE, 16)
+        broken = mutate_first_transfer(sched, dst=1)
+        with pytest.raises(ScheduleError, match="local phase"):
+            validate_tier_locality(broken)
+
+
+class TestContentionInjection:
+    def test_write_race_detected(self):
+        """Two plain (non-combining) writes to one range in one step."""
+        from repro.core import validate_no_write_races
+
+        sched = allreduce_schedule(Shape(4, 1, 1), 16)
+        ag_index = [p.name for p in sched.phases].index("bank-AG")
+        phase = sched.phases[ag_index]
+        old = phase.steps[0].transfers[0]
+        rogue = Transfer(
+            src=(old.src + 2) % 4, dst=old.dst,
+            src_offset=old.src_offset, dst_offset=old.dst_offset,
+            length=old.length, combine=False,
+        )
+        phases = list(sched.phases)
+        phases[ag_index] = Phase(
+            phase.tier, phase.name,
+            (Step(phase.steps[0].transfers + (rogue,)),)
+            + phase.steps[1:],
+            phase.algorithm,
+        )
+        broken = rebuild_with(sched, phases)
+        with pytest.raises(ScheduleError, match="write race"):
+            validate_no_write_races(broken)
+
+    def test_combining_writes_may_share_ranges(self):
+        """Rank-RS legitimately combines many partials into one range."""
+        from repro.core import validate_no_write_races
+
+        validate_no_write_races(allreduce_schedule(SHAPE, 16))
+
+    def test_crossbar_double_drive(self):
+        shape = Shape(1, 4, 1)
+        sched = alltoall_schedule(shape, 16)
+        chip_phase_index = [
+            i for i, p in enumerate(sched.phases) if p.tier is Tier.CHIP
+        ][0]
+        phase = sched.phases[chip_phase_index]
+        old = phase.steps[0].transfers[0]
+        rogue = Transfer(
+            src=old.src,
+            dst=(old.dst + 1) % shape.num_dpus,
+            src_offset=old.src_offset, dst_offset=old.dst_offset,
+            length=old.length, into_output=True,
+        )
+        phases = list(sched.phases)
+        phases[chip_phase_index] = Phase(
+            phase.tier, phase.name,
+            (Step(phase.steps[0].transfers + (rogue,)),)
+            + phase.steps[1:],
+            phase.algorithm,
+        )
+        broken = rebuild_with(sched, phases)
+        with pytest.raises(ScheduleError, match="crossbar"):
+            validate_contention_free(broken)

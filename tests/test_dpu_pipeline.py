@@ -1,0 +1,57 @@
+"""Revolving-pipeline timing model."""
+
+import pytest
+
+from repro.config import DpuConfig
+from repro.dpu import PipelineModel
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def pipe() -> PipelineModel:
+    return PipelineModel(DpuConfig())
+
+
+class TestEffectiveIpc:
+    def test_full_throughput_at_eleven_tasklets(self, pipe):
+        assert pipe.revolver_period == 11
+        assert pipe.effective_ipc(11) == pytest.approx(1.0)
+        assert pipe.effective_ipc(24) == pytest.approx(1.0)
+
+    def test_single_tasklet_is_one_eleventh(self, pipe):
+        assert pipe.effective_ipc(1) == pytest.approx(1 / 11)
+
+    def test_ipc_monotone_in_tasklets(self, pipe):
+        ipcs = [pipe.effective_ipc(t) for t in range(1, 25)]
+        assert all(b >= a for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_zero_tasklets_rejected(self, pipe):
+        with pytest.raises(SimulationError):
+            pipe.effective_ipc(0)
+
+    def test_too_many_tasklets_rejected(self, pipe):
+        with pytest.raises(SimulationError):
+            pipe.effective_ipc(25)
+
+
+class TestCycleConversion:
+    def test_zero_slots_is_free(self, pipe):
+        assert pipe.cycles_for_slots(0, 16) == 0.0
+
+    def test_packed_pipeline_is_one_slot_per_cycle(self, pipe):
+        cycles = pipe.cycles_for_slots(10_000, 16)
+        assert cycles == pytest.approx(10_000 + 14)
+
+    def test_underfilled_pipeline_is_slower(self, pipe):
+        full = pipe.cycles_for_slots(10_000, 16)
+        sparse = pipe.cycles_for_slots(10_000, 2)
+        assert sparse > full
+        assert sparse == pytest.approx(10_000 * 11 / 2 + 14)
+
+    def test_negative_slots_rejected(self, pipe):
+        with pytest.raises(SimulationError):
+            pipe.cycles_for_slots(-1, 16)
+
+    def test_time_uses_dpu_frequency(self, pipe):
+        t = pipe.time_for_slots(350e6 - 14, 16)
+        assert t == pytest.approx(1.0)

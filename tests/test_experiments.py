@@ -1,0 +1,209 @@
+"""Experiment drivers: every figure/table runs and shows the paper's shape."""
+
+import pytest
+
+from repro.collectives import Collective
+from repro.experiments import (
+    EXPERIMENTS,
+    fig02_roofline,
+    fig03_motivation,
+    fig10_applications,
+    fig11_comm_breakdown,
+    fig12_collective_scaling,
+    fig13_flow_control,
+    fig14_bandwidth_sweep,
+    fig15_alt_pim,
+    fig16_multichannel,
+    fig17_multitenancy,
+    hw_overhead,
+    table04_tiers,
+    table05_algorithms,
+)
+
+
+class TestRegistry:
+    def test_every_figure_has_a_driver(self):
+        expected = {
+            "fig02", "fig03", "table04", "table05", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "hw_overhead", "ablations", "size_sweep",
+            "characterization", "noc_load_latency",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_drivers_expose_run_and_format(self):
+        for module in EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "format_table")
+
+
+class TestFig02:
+    def test_ceiling_ratio_near_8x(self):
+        result = fig02_roofline.run()
+        assert 5 <= result.ceiling_ratio() <= 12
+
+    def test_format(self):
+        text = fig02_roofline.format_table(fig02_roofline.run())
+        assert "Fig 2a" in text and "Fig 2b" in text
+
+
+class TestFig03:
+    def test_allreduce_throughput_scales(self):
+        result = fig03_motivation.run(Collective.ALL_REDUCE)
+        rel = result.normalized_throughput()
+        # PIMnet keeps scaling; baseline saturates
+        assert rel["P"][-1] > 10 * rel["P"][0]
+        assert rel["B"][-1] < 2 * rel["B"][0]
+
+    def test_software_flatlines_beyond_64(self):
+        result = fig03_motivation.run(Collective.ALL_REDUCE)
+        rel = result.normalized_throughput()["S"]
+        assert rel[-1] == pytest.approx(rel[-2], rel=0.1)
+
+    def test_alltoall_benefit_smaller(self):
+        ar, a2a = fig03_motivation.run_both()
+        assert (
+            a2a.normalized_throughput()["P"][-1]
+            < ar.normalized_throughput()["P"][-1]
+        )
+
+    def test_format(self):
+        text = fig03_motivation.format_table(fig03_motivation.run())
+        assert "Fig 3a" in text
+
+
+class TestTables:
+    def test_table04_aggregate_bandwidths(self):
+        result = table04_tiers.run()
+        assert result.chip_bisection_gbs == pytest.approx(2.8)
+        assert result.rank_interbank_bisection_gbs == pytest.approx(22.4)
+        assert result.rank_aggregate_gbs == pytest.approx(179.2)
+        assert "Table IV" in table04_tiers.format_table(result)
+
+    def test_table05_all_patterns(self):
+        result = table05_algorithms.run()
+        assert len(result) == 5
+        text = table05_algorithms.format_table(result)
+        assert "Permutation(inter-chip)" in text
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_applications.run()
+
+    def test_all_workloads_present(self, result):
+        assert set(result.results) >= {
+            "BFS", "CC", "MLP", "GEMV", "SpMV", "NTT", "Join",
+        }
+
+    def test_pimnet_wins_everywhere(self, result):
+        for name in result.results:
+            assert result.speedup(name) > 1.0
+
+    def test_max_speedup_near_11_8(self, result):
+        _, value = result.max_speedup()
+        assert 8 <= value <= 13
+
+    def test_format(self, result):
+        text = fig10_applications.format_table(result)
+        assert "Fig 10" in text
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_comm_breakdown.run()
+
+    def test_pimnet_beats_reference_everywhere(self, result):
+        for entry in result.entries:
+            assert entry.comm_speedup > 1.0
+
+    def test_a2a_workloads_normalized_to_ndpbridge(self, result):
+        refs = {e.workload: e.reference_backend for e in result.entries}
+        assert refs["NTT"] == "N"
+        assert refs["Join"] == "N"
+        assert refs["CC"] == "D"
+
+    def test_format(self, result):
+        assert "Fig 11" in fig11_comm_breakdown.format_table(result)
+
+
+class TestFig12:
+    def test_allreduce_speedup_grows(self):
+        result = fig12_collective_scaling.run(Collective.ALL_REDUCE)
+        p = result.speedups["P"]
+        assert p[-1] > p[0]
+        assert p[-1] > 20
+
+    def test_alltoall_speedup_flattens(self):
+        result = fig12_collective_scaling.run(Collective.ALL_TO_ALL)
+        p = result.speedups["P"]
+        assert p[-1] < 0.6 * fig12_collective_scaling.run(
+            Collective.ALL_REDUCE
+        ).speedups["P"][-1]
+
+    def test_ndpbridge_only_in_a2a(self):
+        ar, a2a = fig12_collective_scaling.run_both()
+        assert "N" not in ar.speedups
+        assert "N" in a2a.speedups
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_bandwidth_sweep.run()
+
+    def test_min_interbank_speedup_at_least_3x(self, result):
+        """Paper: PIMnet >= 3x DIMM-Link even at 0.1 GB/s."""
+        assert result.min_interbank_speedup() >= 2.5
+
+    def test_speedup_monotone_in_bandwidth(self, result):
+        speedups = [row[2] for row in result.inter_bank]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+
+    def test_pimnet_beats_dimmlink_even_at_quarter_global(self, result):
+        assert all(row[2] > 1.0 for row in result.global_bw)
+
+
+class TestFig15:
+    def test_benefit_grows_with_compute_throughput(self):
+        result = fig15_alt_pim.run()
+        for workload in ("MLP", "NTT"):
+            row = result.speedups[workload]
+            assert row["UPMEM"] < row["HBM-PIM"] <= row["GDDR6-AiM"] * 1.01
+        assert result.gain("MLP") > 5
+
+
+class TestFig16:
+    def test_speedup_grows_with_channels(self):
+        result = fig16_multichannel.run()
+        speedups = result.speedups()
+        assert speedups[-1] > speedups[0]
+        assert all(s > 1 for s in speedups)
+
+
+class TestFig17:
+    def test_pimnet_isolates(self):
+        result = fig17_multitenancy.run()
+        assert result.isolation_benefit() > 1.2
+
+
+class TestHwOverhead:
+    def test_report_and_format(self):
+        report = hw_overhead.run()
+        text = hw_overhead.format_table(report)
+        assert "HW overhead" in text
+        assert report.router_to_stop_area_ratio > 60
+
+
+@pytest.mark.slow
+class TestFig13:
+    def test_flow_control_directions(self):
+        result = fig13_flow_control.run(
+            banks=4, chips=4, ranks=1, elements_per_dpu=256
+        )
+        # AR near parity; A2A favors scheduling
+        assert abs(result.reduction_percent("allreduce")) < 15
+        assert result.reduction_percent("alltoall") > 0
+        assert "Fig 13" in fig13_flow_control.format_table(result)

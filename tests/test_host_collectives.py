@@ -1,0 +1,113 @@
+"""Host-orchestrated functional collectives through MRAM state."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import ReduceOp
+from repro.config import small_test_system
+from repro.errors import CollectiveError
+from repro.host import (
+    PimRuntime,
+    host_all_reduce,
+    host_all_to_all,
+    host_broadcast,
+    host_reduce_scatter,
+)
+
+
+@pytest.fixture
+def loaded_runtime(rng):
+    runtime = PimRuntime(small_test_system())
+    runtime.allocate("buf", 1024)
+    arrays = [rng.integers(0, 100, 16, dtype=np.int64) for _ in range(8)]
+    runtime.push("buf", arrays)
+    return runtime, arrays
+
+
+class TestHostAllReduce:
+    def test_every_bank_holds_the_sum(self, loaded_runtime):
+        runtime, arrays = loaded_runtime
+        time_s = host_all_reduce(runtime, "buf", 16)
+        assert time_s > 0
+        expected = np.sum(arrays, axis=0)
+        pulled, _ = runtime.pull("buf", 16, np.int64)
+        for got in pulled:
+            assert np.array_equal(got, expected)
+
+    def test_min_operator(self, loaded_runtime):
+        runtime, arrays = loaded_runtime
+        host_all_reduce(runtime, "buf", 16, op=ReduceOp.MIN)
+        pulled, _ = runtime.pull("buf", 16, np.int64)
+        assert np.array_equal(pulled[0], np.min(arrays, axis=0))
+
+
+class TestHostReduceScatter:
+    def test_each_bank_gets_its_shard(self, loaded_runtime):
+        runtime, arrays = loaded_runtime
+        host_reduce_scatter(runtime, "buf", 16)
+        total = np.sum(arrays, axis=0)
+        pulled, _ = runtime.pull("buf", 2, np.int64)
+        for d, got in enumerate(pulled):
+            assert np.array_equal(got, total[d * 2 : (d + 1) * 2])
+
+    def test_divisibility_checked(self, loaded_runtime):
+        runtime, _ = loaded_runtime
+        with pytest.raises(CollectiveError):
+            host_reduce_scatter(runtime, "buf", 15)
+
+
+class TestHostAllToAll:
+    def test_chunk_transpose(self, loaded_runtime):
+        runtime, arrays = loaded_runtime
+        host_all_to_all(runtime, "buf", 16)
+        pulled, _ = runtime.pull("buf", 16, np.int64)
+        for dst in range(8):
+            for src in range(8):
+                assert np.array_equal(
+                    pulled[dst][src * 2 : (src + 1) * 2],
+                    arrays[src][dst * 2 : (dst + 1) * 2],
+                )
+
+
+class TestHostBroadcast:
+    def test_root_data_everywhere(self, loaded_runtime):
+        runtime, arrays = loaded_runtime
+        host_broadcast(runtime, "buf", 16, root=5)
+        pulled, _ = runtime.pull("buf", 16, np.int64)
+        for got in pulled:
+            assert np.array_equal(got, arrays[5])
+
+    def test_root_validated(self, loaded_runtime):
+        runtime, _ = loaded_runtime
+        with pytest.raises(CollectiveError):
+            host_broadcast(runtime, "buf", 16, root=8)
+
+
+class TestConsistencyWithBackendModel:
+    def test_functional_result_matches_backend_outputs(self, rng):
+        """The MRAM path and the pure backend path agree on data."""
+        from repro.collectives import (
+            Collective,
+            CollectiveRequest,
+            registry,
+        )
+
+        machine = small_test_system()
+        runtime = PimRuntime(machine)
+        runtime.allocate("buf", 1024)
+        arrays = [
+            rng.integers(0, 100, 16, dtype=np.int64) for _ in range(8)
+        ]
+        runtime.push("buf", arrays)
+        host_all_reduce(runtime, "buf", 16)
+        via_mram, _ = runtime.pull("buf", 16, np.int64)
+
+        backend = registry.create("B", machine)
+        via_backend = backend.run(
+            CollectiveRequest(
+                Collective.ALL_REDUCE, 16 * 8, dtype=np.dtype(np.int64)
+            ),
+            arrays,
+        ).outputs
+        for a, b in zip(via_mram, via_backend):
+            assert np.array_equal(a, b)

@@ -1,0 +1,73 @@
+"""Host address interleaving across PIM banks."""
+
+import pytest
+
+from repro.config import PimSystemConfig
+from repro.errors import MemoryModelError
+from repro.memory import AddressMap
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    return AddressMap(
+        PimSystemConfig(
+            banks_per_chip=2, chips_per_rank=2, ranks_per_channel=2
+        ),
+        interleave_bytes=64,
+    )
+
+
+class TestLocate:
+    def test_first_block_lands_in_dpu_zero(self, amap):
+        assert amap.locate(0) == (0, 0)
+        assert amap.locate(63) == (0, 63)
+
+    def test_blocks_rotate_across_dpus(self, amap):
+        assert amap.locate(64) == (1, 0)
+        assert amap.locate(64 * 7) == (7, 0)
+
+    def test_second_stripe_returns_to_dpu_zero(self, amap):
+        dpu, offset = amap.locate(64 * 8)
+        assert dpu == 0
+        assert offset == 64
+
+    def test_out_of_space_rejected(self, amap):
+        with pytest.raises(MemoryModelError):
+            amap.locate(amap.total_bytes)
+
+
+class TestSlices:
+    def test_slices_cover_range_exactly(self, amap):
+        slices = amap.slices(30, 300)
+        assert sum(s.length for s in slices) == 300
+        # host offsets are contiguous and ordered
+        cursor = 0
+        for s in slices:
+            assert s.host_offset == cursor
+            cursor += s.length
+
+    def test_single_block_slice(self, amap):
+        slices = amap.slices(0, 64)
+        assert len(slices) == 1
+        assert slices[0].dpu_id == 0
+
+    def test_slice_respects_interleave_boundaries(self, amap):
+        slices = amap.slices(32, 64)
+        assert [s.length for s in slices] == [32, 32]
+        assert [s.dpu_id for s in slices] == [0, 1]
+
+    def test_zero_length_allowed(self, amap):
+        assert amap.slices(0, 0) == []
+
+    def test_negative_length_rejected(self, amap):
+        with pytest.raises(MemoryModelError):
+            amap.slices(0, -1)
+
+
+class TestValidation:
+    def test_interleave_must_be_multiple_of_eight(self):
+        with pytest.raises(MemoryModelError):
+            AddressMap(PimSystemConfig(), interleave_bytes=100)
+
+    def test_total_bytes(self, amap):
+        assert amap.total_bytes == 8 * 64 * 1024 * 1024

@@ -1,0 +1,77 @@
+"""NoC simulator determinism and conservation invariants."""
+
+import pytest
+
+from repro.core import Shape, allreduce_schedule, alltoall_schedule
+from repro.noc import (
+    NocNetwork,
+    NocSimulator,
+    compute_skew_cycles,
+    messages_from_schedule,
+)
+
+
+def run_mode(shape, schedule, mode, seed=7):
+    net = NocNetwork(shape)
+    ready = compute_skew_cycles(shape.num_dpus, 500, seed=seed)
+    messages, barriers = messages_from_schedule(
+        schedule, net, mode, ready_cycles=ready
+    )
+    sim = NocSimulator(net, messages)
+    if mode == "scheduled":
+        sim.set_barriers(barriers)
+    return sim.run()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mode", ["credit", "scheduled"])
+    def test_identical_runs_identical_cycles(self, mode):
+        shape = Shape(4, 2, 1)
+        schedule = allreduce_schedule(shape, shape.num_dpus * 8)
+        a = run_mode(shape, schedule, mode)
+        b = run_mode(shape, schedule, mode)
+        assert a.cycles == b.cycles
+        assert a.link_busy_cycles == b.link_busy_cycles
+        assert a.per_message_latency == b.per_message_latency
+
+    def test_different_skew_seed_changes_credit_timing(self):
+        shape = Shape(4, 2, 1)
+        schedule = allreduce_schedule(shape, shape.num_dpus * 8)
+        a = run_mode(shape, schedule, "credit", seed=1)
+        b = run_mode(shape, schedule, "credit", seed=2)
+        assert a.cycles != b.cycles
+
+    def test_rerunning_same_simulator_is_stable(self):
+        """run() resets all message/link state, so it is idempotent."""
+        shape = Shape(2, 2, 1)
+        net = NocNetwork(shape)
+        schedule = alltoall_schedule(shape, shape.num_dpus * 4)
+        messages, _ = messages_from_schedule(schedule, net, "credit")
+        sim = NocSimulator(net, messages)
+        first = sim.run().cycles
+        second = sim.run().cycles
+        assert first == second
+
+
+class TestConservation:
+    @pytest.mark.parametrize("mode", ["credit", "scheduled"])
+    def test_all_flits_delivered(self, mode):
+        shape = Shape(2, 2, 2)
+        schedule = alltoall_schedule(shape, shape.num_dpus * 4)
+        stats = run_mode(shape, schedule, mode)
+        net = NocNetwork(shape)
+        messages, _ = messages_from_schedule(schedule, net, mode)
+        assert stats.flits_delivered == sum(m.num_flits for m in messages)
+
+    def test_hop_count_at_least_flit_count(self):
+        shape = Shape(4, 2, 1)
+        schedule = allreduce_schedule(shape, shape.num_dpus * 8)
+        stats = run_mode(shape, schedule, "scheduled")
+        assert stats.total_flit_hops >= stats.flits_delivered
+
+    def test_busy_cycles_bounded_by_runtime(self):
+        shape = Shape(2, 2, 2)
+        schedule = alltoall_schedule(shape, shape.num_dpus * 4)
+        stats = run_mode(shape, schedule, "credit")
+        for name, busy in stats.link_busy_cycles.items():
+            assert busy <= stats.cycles, name

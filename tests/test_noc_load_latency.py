@@ -1,0 +1,34 @@
+"""NoC load-latency study."""
+
+import pytest
+
+from repro.experiments import noc_load_latency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return noc_load_latency.run()
+
+
+class TestLoadLatencyCurve:
+    def test_latency_monotone_in_offered_load(self, result):
+        lat = result.mean_latency_cycles
+        assert all(b >= a for a, b in zip(lat, lat[1:]))
+
+    def test_saturation_regime_reached(self, result):
+        assert result.saturation_visible()
+
+    def test_completion_time_shrinks_with_rate(self, result):
+        """Higher injection rate = denser schedule = earlier completion
+        (the latency cost is per-message queueing, not total time)."""
+        comp = result.completion_cycles
+        assert comp[0] > comp[-1]
+
+    def test_deterministic(self):
+        a = noc_load_latency.run(seed=3)
+        b = noc_load_latency.run(seed=3)
+        assert a.mean_latency_cycles == b.mean_latency_cycles
+
+    def test_format(self, result):
+        text = noc_load_latency.format_table(result)
+        assert "load-latency" in text

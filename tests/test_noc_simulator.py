@@ -1,0 +1,138 @@
+"""Cycle-level NoC simulator behaviour."""
+
+import pytest
+
+from repro.core import Shape
+from repro.errors import SimulationError
+from repro.noc import Message, NocNetwork, NocSimulator
+
+
+@pytest.fixture
+def net() -> NocNetwork:
+    return NocNetwork(Shape(4, 2, 1))
+
+
+class TestSingleMessage:
+    def test_delivery_completes(self, net):
+        msg = Message(msg_id=0, src=0, dst=net.shape.dpu(0, 0, 1), num_flits=4)
+        stats = NocSimulator(net, [msg]).run()
+        assert msg.delivered
+        assert stats.messages_delivered == 1
+        assert stats.flits_delivered == 4
+
+    def test_latency_scales_with_flits(self, net):
+        dst = net.shape.dpu(0, 0, 1)
+        short = Message(msg_id=0, src=0, dst=dst, num_flits=2)
+        NocSimulator(net, [short]).run()
+        long = Message(msg_id=0, src=0, dst=dst, num_flits=32)
+        NocSimulator(net, [long]).run()
+        assert long.complete_cycle > short.complete_cycle
+
+    def test_ready_cycle_delays_injection(self, net):
+        dst = net.shape.dpu(0, 0, 1)
+        msg = Message(msg_id=0, src=0, dst=dst, num_flits=1, ready_cycle=500)
+        NocSimulator(net, [msg]).run()
+        assert msg.inject_start_cycle == 500
+
+    def test_cross_chip_slower_than_neighbor(self, net):
+        neighbor = Message(
+            msg_id=0, src=0, dst=net.shape.dpu(0, 0, 1), num_flits=8
+        )
+        NocSimulator(net, [neighbor]).run()
+        remote = Message(
+            msg_id=0, src=0, dst=net.shape.dpu(0, 1, 1), num_flits=8
+        )
+        NocSimulator(net, [remote]).run()
+        assert remote.complete_cycle > neighbor.complete_cycle
+
+
+class TestDependencies:
+    def test_dep_serializes_messages(self, net):
+        a = Message(msg_id=0, src=0, dst=net.shape.dpu(0, 0, 1), num_flits=8)
+        b = Message(
+            msg_id=1,
+            src=net.shape.dpu(0, 0, 1),
+            dst=net.shape.dpu(0, 0, 2),
+            num_flits=8,
+            deps=(0,),
+        )
+        NocSimulator(net, [a, b]).run()
+        assert b.inject_start_cycle > a.complete_cycle - 1
+
+    def test_duplicate_ids_rejected(self, net):
+        msgs = [
+            Message(msg_id=0, src=0, dst=1, num_flits=1),
+            Message(msg_id=0, src=1, dst=2, num_flits=1),
+        ]
+        with pytest.raises(SimulationError):
+            NocSimulator(net, msgs)
+
+
+class TestBarriers:
+    def test_barrier_orders_generations(self, net):
+        d1 = net.shape.dpu(0, 0, 1)
+        d2 = net.shape.dpu(0, 0, 2)
+        first = Message(msg_id=0, src=0, dst=d1, num_flits=8)
+        second = Message(msg_id=1, src=d1, dst=d2, num_flits=8)
+        sim = NocSimulator(net, [first, second])
+        sim.set_barriers({0: 0, 1: 1})
+        sim.run()
+        assert second.inject_start_cycle >= first.complete_cycle
+
+    def test_barrier_for_unknown_message_rejected(self, net):
+        sim = NocSimulator(
+            net, [Message(msg_id=0, src=0, dst=1, num_flits=1)]
+        )
+        with pytest.raises(SimulationError):
+            sim.set_barriers({5: 0})
+
+
+class TestContention:
+    def test_two_senders_one_receiver_serialize(self, net):
+        dst = net.shape.dpu(0, 0, 2)
+        left = Message(
+            msg_id=0, src=net.shape.dpu(0, 0, 1), dst=dst, num_flits=16
+        )
+        right = Message(
+            msg_id=1, src=net.shape.dpu(0, 0, 3), dst=dst, num_flits=16
+        )
+        both = NocSimulator(net, [left, right]).run()
+        solo_msg = Message(
+            msg_id=0, src=net.shape.dpu(0, 0, 1), dst=dst, num_flits=16
+        )
+        NocSimulator(net, [solo_msg]).run()
+        # Two opposite-direction senders land on different ring links, so
+        # they need not serialize; but total time is at least the solo time.
+        assert both.cycles >= solo_msg.complete_cycle
+
+    def test_crossbar_conflict_counted(self, net):
+        """Two chips sending to the same chip contend at its DQ link."""
+        dst_a = net.shape.dpu(0, 1, 0)
+        dst_b = net.shape.dpu(0, 1, 2)
+        msgs = [
+            Message(msg_id=0, src=net.shape.dpu(0, 0, 0), dst=dst_a, num_flits=32),
+            Message(msg_id=1, src=net.shape.dpu(0, 0, 1), dst=dst_b, num_flits=32),
+        ]
+        stats = NocSimulator(net, msgs).run()
+        assert stats.arbitration_conflicts > 0
+
+    def test_deadlock_guard_raises(self, net):
+        msg = Message(msg_id=0, src=0, dst=1, num_flits=1, ready_cycle=10**9)
+        with pytest.raises(SimulationError):
+            NocSimulator(net, [msg]).run(max_cycles=1000)
+
+
+class TestStats:
+    def test_mean_latency_computed(self, net):
+        msgs = [
+            Message(msg_id=i, src=0, dst=net.shape.dpu(0, 0, 1), num_flits=2)
+            for i in range(3)
+        ]
+        stats = NocSimulator(net, msgs).run()
+        assert stats.mean_message_latency > 0
+        assert len(stats.per_message_latency) == 3
+
+    def test_empty_stats_latency_zero(self):
+        from repro.noc.flit import SimStats
+
+        assert SimStats().mean_message_latency == 0.0

@@ -1,0 +1,74 @@
+"""Per-link NoC statistics."""
+
+import pytest
+
+from repro.core import Shape, allreduce_schedule, alltoall_schedule
+from repro.noc import (
+    Message,
+    NocNetwork,
+    NocSimulator,
+    messages_from_schedule,
+)
+
+
+def run_scheduled(shape, schedule):
+    net = NocNetwork(shape)
+    messages, barriers = messages_from_schedule(schedule, net, "scheduled")
+    sim = NocSimulator(net, messages)
+    sim.set_barriers(barriers)
+    return sim.run()
+
+
+class TestLinkBusyAccounting:
+    def test_single_message_busy_cycles(self):
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        msg = Message(msg_id=0, src=0, dst=shape.dpu(0, 0, 1), num_flits=10)
+        stats = NocSimulator(net, [msg]).run()
+        link = net.path(0, shape.dpu(0, 0, 1))[0]
+        assert stats.link_busy_cycles[link.name] == (
+            10 * link.cycles_per_flit
+        )
+
+    def test_utilization_bounded(self):
+        shape = Shape(2, 2, 2)
+        stats = run_scheduled(shape, allreduce_schedule(shape, 64))
+        for name in stats.link_busy_cycles:
+            assert 0.0 <= stats.link_utilization(name) <= 1.0
+
+    def test_unused_link_reads_zero(self):
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        msg = Message(msg_id=0, src=0, dst=shape.dpu(0, 0, 1), num_flits=4)
+        stats = NocSimulator(net, [msg]).run()
+        assert stats.link_utilization("ring:0:0:2>E") == 0.0
+
+
+class TestHotspots:
+    def test_a2a_hotspots_are_dq_or_bus(self):
+        """All-to-All saturates the chip DQ ports and the bus, not the
+        rings — the structural bottleneck the paper's Fig 11 shows."""
+        shape = Shape(2, 2, 2)
+        stats = run_scheduled(shape, alltoall_schedule(shape, 64))
+        hottest = stats.hottest_links(3)
+        assert hottest, "no link stats collected"
+        for name, _ in hottest:
+            assert name.startswith(("dq:", "bus:")), name
+
+    def test_allreduce_rings_do_real_work(self):
+        shape = Shape(4, 2, 1)
+        stats = run_scheduled(
+            shape, allreduce_schedule(shape, shape.num_dpus * 8)
+        )
+        ring_busy = sum(
+            cycles
+            for name, cycles in stats.link_busy_cycles.items()
+            if name.startswith("ring:")
+        )
+        assert ring_busy > 0
+
+    def test_hottest_links_sorted(self):
+        shape = Shape(2, 2, 2)
+        stats = run_scheduled(shape, alltoall_schedule(shape, 64))
+        utils = [u for _, u in stats.hottest_links(10)]
+        assert utils == sorted(utils, reverse=True)

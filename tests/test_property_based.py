@@ -1,0 +1,258 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import (
+    Collective,
+    CollectiveRequest,
+    ReduceOp,
+    functional,
+)
+from repro.config import PimSystemConfig
+from repro.core import (
+    Shape,
+    allreduce_schedule,
+    alltoall_schedule,
+    execute_schedule,
+    owned_range,
+)
+from repro.memory import AddressMap, SparseMemory
+from repro.topology import Topology
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+dims = st.integers(min_value=1, max_value=4)
+shapes = st.builds(Shape, banks=dims, chips=dims, ranks=dims)
+
+
+@st.composite
+def shape_and_buffers(draw):
+    shape = draw(shapes)
+    per_dpu = draw(st.integers(min_value=1, max_value=4))
+    e = shape.num_dpus * per_dpu
+    values = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-1000, max_value=1000),
+                min_size=e,
+                max_size=e,
+            ),
+            min_size=shape.num_dpus,
+            max_size=shape.num_dpus,
+        )
+    )
+    buffers = [np.array(v, dtype=np.int64) for v in values]
+    return shape, buffers
+
+
+# ---------------------------------------------------------------------------
+# functional collectives
+# ---------------------------------------------------------------------------
+
+
+class TestFunctionalProperties:
+    @given(data=shape_and_buffers())
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_invariant_sum(self, data):
+        """Every output equals the element-wise sum, regardless of shape."""
+        shape, buffers = data
+        req = CollectiveRequest(
+            Collective.ALL_REDUCE,
+            buffers[0].size * 8,
+            dtype=np.dtype(np.int64),
+        )
+        outputs = functional.execute(req, buffers)
+        expected = np.sum(buffers, axis=0)
+        for out in outputs:
+            assert np.array_equal(out, expected)
+
+    @given(data=shape_and_buffers())
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_scatter_concat_equals_allreduce(self, data):
+        shape, buffers = data
+        e = buffers[0].size
+        rs = functional.execute(
+            CollectiveRequest(
+                Collective.REDUCE_SCATTER, e * 8, dtype=np.dtype(np.int64)
+            ),
+            buffers,
+        )
+        ar = functional.execute(
+            CollectiveRequest(
+                Collective.ALL_REDUCE, e * 8, dtype=np.dtype(np.int64)
+            ),
+            buffers,
+        )
+        assert np.array_equal(np.concatenate(rs), ar[0])
+
+    @given(data=shape_and_buffers())
+    @settings(max_examples=40, deadline=None)
+    def test_alltoall_preserves_multiset(self, data):
+        """A2A permutes data: global multiset of elements is conserved."""
+        shape, buffers = data
+        e = buffers[0].size
+        outputs = functional.execute(
+            CollectiveRequest(
+                Collective.ALL_TO_ALL, e * 8, dtype=np.dtype(np.int64)
+            ),
+            buffers,
+        )
+        before = np.sort(np.concatenate(buffers))
+        after = np.sort(np.concatenate(outputs))
+        assert np.array_equal(before, after)
+
+    @given(
+        data=shape_and_buffers(),
+        op=st.sampled_from([ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_is_permutation_invariant(self, data, op):
+        """Reduction result does not depend on DPU ordering."""
+        shape, buffers = data
+        e = buffers[0].size
+        req = CollectiveRequest(
+            Collective.ALL_REDUCE, e * 8, dtype=np.dtype(np.int64), op=op
+        )
+        forward = functional.execute(req, buffers)
+        backward = functional.execute(req, list(reversed(buffers)))
+        assert np.array_equal(forward[0], backward[0])
+
+
+# ---------------------------------------------------------------------------
+# static schedules
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(data=shape_and_buffers())
+    @settings(max_examples=25, deadline=None)
+    def test_allreduce_schedule_matches_functional(self, data):
+        shape, buffers = data
+        e = buffers[0].size
+        out = execute_schedule(allreduce_schedule(shape, e), buffers)
+        expected = np.sum(buffers, axis=0)
+        for buf in out:
+            assert np.array_equal(buf, expected)
+
+    @given(data=shape_and_buffers())
+    @settings(max_examples=25, deadline=None)
+    def test_alltoall_schedule_matches_functional(self, data):
+        shape, buffers = data
+        e = buffers[0].size
+        out = execute_schedule(alltoall_schedule(shape, e), buffers)
+        ref = functional.execute(
+            CollectiveRequest(
+                Collective.ALL_TO_ALL, e * 8, dtype=np.dtype(np.int64)
+            ),
+            buffers,
+        )
+        for a, b in zip(out, ref):
+            assert np.array_equal(a, b)
+
+    @given(shape=shapes, per_dpu=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_owned_ranges_partition_vector(self, shape, per_dpu):
+        e = shape.num_dpus * per_dpu
+        seen = np.zeros(e, dtype=bool)
+        for d in range(shape.num_dpus):
+            off, length = owned_range(shape, e, d)
+            assert not seen[off : off + length].any()
+            seen[off : off + length] = True
+        assert seen.all()
+
+
+# ---------------------------------------------------------------------------
+# memory substrate
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryProperties:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4000),
+                st.binary(min_size=1, max_size=64),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sparse_memory_acts_like_bytearray(self, writes):
+        mem = SparseMemory(8192, page_bytes=128)
+        shadow = bytearray(8192)
+        for address, data in writes:
+            if address + len(data) > 8192:
+                continue
+            mem.write(address, data)
+            shadow[address : address + len(data)] = data
+        assert bytes(mem.read(0, 8192)) == bytes(shadow)
+
+    @given(
+        start=st.integers(min_value=0, max_value=10_000),
+        length=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_address_map_slices_are_a_partition(self, start, length):
+        amap = AddressMap(
+            PimSystemConfig(
+                banks_per_chip=2, chips_per_rank=2, ranks_per_channel=2
+            ),
+            interleave_bytes=256,
+        )
+        slices = amap.slices(start, length)
+        assert sum(s.length for s in slices) == length
+        cursor = 0
+        for s in slices:
+            assert s.host_offset == cursor
+            cursor += s.length
+            # each slice must agree with pointwise locate()
+            dpu, offset = amap.locate(start + s.host_offset)
+            assert (dpu, offset) == (s.dpu_id, s.mram_offset)
+
+
+# ---------------------------------------------------------------------------
+# topology
+# ---------------------------------------------------------------------------
+
+
+class TestTopologyProperties:
+    @given(
+        banks=st.integers(min_value=1, max_value=8),
+        chips=st.integers(min_value=1, max_value=8),
+        ranks=st.integers(min_value=1, max_value=4),
+        channels=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coord_bijection(self, banks, chips, ranks, channels):
+        topo = Topology(
+            PimSystemConfig(
+                banks_per_chip=banks,
+                chips_per_rank=chips,
+                ranks_per_channel=ranks,
+                num_channels=channels,
+            )
+        )
+        ids = {topo.dpu_id(c) for c in topo.all_coords()}
+        assert ids == set(range(topo.config.total_dpus))
+
+    @given(
+        banks=st.integers(min_value=2, max_value=8),
+        start=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ring_walk_returns_home(self, banks, start):
+        start = start % banks
+        topo = Topology(PimSystemConfig(banks_per_chip=banks))
+        dpu = topo.dpu_id(
+            __import__(
+                "repro.topology", fromlist=["BankCoord"]
+            ).BankCoord(0, 0, 0, start)
+        )
+        cursor = dpu
+        for _ in range(banks):
+            cursor = topo.ring_neighbor(cursor, +1)
+        assert cursor == dpu

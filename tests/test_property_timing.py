@@ -1,0 +1,135 @@
+"""Hypothesis property tests on the timing models."""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import Collective, CollectiveRequest, registry
+from repro.config import PimSystemConfig, pimnet_sim_system
+
+PATTERNS = [
+    Collective.ALL_REDUCE,
+    Collective.REDUCE_SCATTER,
+    Collective.ALL_TO_ALL,
+    Collective.BROADCAST,
+]
+
+shape_dims = st.tuples(
+    st.integers(1, 8), st.integers(1, 8), st.integers(1, 4)
+)
+
+
+def machine_for(dims):
+    b, c, r = dims
+    return replace(
+        pimnet_sim_system(),
+        system=PimSystemConfig(
+            banks_per_chip=b, chips_per_rank=c, ranks_per_channel=r
+        ),
+    )
+
+
+def request_for(pattern, dims, kib):
+    b, c, r = dims
+    n = b * c * r
+    payload = max(1, kib) * 1024
+    payload = (payload // (8 * n) or 1) * 8 * n  # keep shardable
+    return CollectiveRequest(pattern, payload, dtype=np.dtype(np.int64))
+
+
+class TestTimingProperties:
+    @given(dims=shape_dims, pattern=st.sampled_from(PATTERNS))
+    @settings(max_examples=60, deadline=None)
+    def test_pimnet_time_positive_on_any_shape(self, dims, pattern):
+        machine = machine_for(dims)
+        request = request_for(pattern, dims, 16)
+        breakdown = registry.create("P", machine).timing(request)
+        assert breakdown.total_s > 0
+        for value in breakdown.as_dict().values():
+            assert value >= 0
+
+    @given(
+        dims=shape_dims,
+        pattern=st.sampled_from(PATTERNS),
+        small=st.integers(1, 16),
+        factor=st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_payload_monotonicity_everywhere(
+        self, dims, pattern, small, factor
+    ):
+        machine = machine_for(dims)
+        backend = registry.create("P", machine)
+        t_small = backend.timing(request_for(pattern, dims, small)).total_s
+        t_large = backend.timing(
+            request_for(pattern, dims, small * factor)
+        ).total_s
+        assert t_large >= t_small
+
+    @given(dims=shape_dims, scale=st.floats(1.1, 8.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_fabric_bandwidth_never_hurts(self, dims, scale):
+        machine = machine_for(dims)
+        faster = replace(
+            machine,
+            pimnet=machine.pimnet.with_global_bandwidth_scale(scale),
+        )
+        request = request_for(Collective.ALL_REDUCE, dims, 32)
+        base = registry.create("P", machine).timing(request).total_s
+        boosted = registry.create("P", faster).timing(request).total_s
+        assert boosted <= base * (1 + 1e-9)
+
+    @given(dims=shape_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_pimnet_beats_baseline_on_any_shape(self, dims):
+        """The headline relation holds for every machine shape, not just
+        the paper's 8x8x4."""
+        machine = machine_for(dims)
+        request = request_for(Collective.ALL_REDUCE, dims, 32)
+        baseline = registry.create("B", machine).timing(request).total_s
+        pimnet = registry.create("P", machine).timing(request).total_s
+        assert pimnet < baseline
+
+    @given(
+        dims=shape_dims,
+        pattern=st.sampled_from(
+            [Collective.ALL_REDUCE, Collective.ALL_TO_ALL]
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_and_closed_form_agree_on_random_shapes(
+        self, dims, pattern
+    ):
+        from repro.core import (
+            PimnetBackend,
+            Shape,
+            Tier,
+            build_schedule,
+            schedule_timing,
+        )
+
+        machine = machine_for(dims)
+        backend = PimnetBackend(machine)
+        b, c, r = dims
+        n = b * c * r
+        e = n * 8
+        request = CollectiveRequest(pattern, e * 8)
+        closed = backend.model._tier_times(request)
+        derived = schedule_timing(
+            build_schedule(pattern, Shape(b, c, r), e),
+            machine.pimnet,
+            itemsize=8,
+        )
+        for closed_value, tier in (
+            (closed.bank_s, Tier.BANK),
+            (closed.chip_s, Tier.CHIP),
+            (closed.rank_s, Tier.RANK),
+        ):
+            derived_value = derived[tier]
+            if max(closed_value, derived_value) == 0:
+                continue
+            rel = abs(closed_value - derived_value) / max(
+                closed_value, derived_value
+            )
+            assert rel < 0.02, (dims, pattern, tier)

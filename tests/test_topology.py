@@ -1,0 +1,93 @@
+"""Packaging-hierarchy topology: coordinates and neighbor math."""
+
+import pytest
+
+from repro.config import PimSystemConfig
+from repro.errors import TopologyError
+from repro.topology import BankCoord, Topology
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology(PimSystemConfig())
+
+
+class TestCoordinateRoundTrip:
+    def test_every_dpu_round_trips(self, topo):
+        for dpu in range(topo.config.total_dpus):
+            assert topo.dpu_id(topo.coord(dpu)) == dpu
+
+    def test_bank_is_fastest_axis(self, topo):
+        assert topo.coord(0) == BankCoord(0, 0, 0, 0)
+        assert topo.coord(1) == BankCoord(0, 0, 0, 1)
+        assert topo.coord(8) == BankCoord(0, 0, 1, 0)
+        assert topo.coord(64) == BankCoord(0, 1, 0, 0)
+
+    def test_out_of_range_id_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.coord(topo.config.total_dpus)
+        with pytest.raises(TopologyError):
+            topo.coord(-1)
+
+    def test_out_of_range_coord_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.dpu_id(BankCoord(0, 0, 0, 8))
+        with pytest.raises(TopologyError):
+            topo.dpu_id(BankCoord(1, 0, 0, 0))  # single channel
+
+    def test_all_coords_enumeration(self, topo):
+        coords = list(topo.all_coords())
+        assert len(coords) == topo.config.total_dpus
+        assert len(set(coords)) == topo.config.total_dpus
+
+
+class TestGroupings:
+    def test_chip_members_count(self, topo):
+        members = topo.chip_members(0, 1, 2)
+        assert len(members) == 8
+        for dpu in members:
+            c = topo.coord(dpu)
+            assert (c.rank, c.chip) == (1, 2)
+
+    def test_rank_members_count(self, topo):
+        assert len(topo.rank_members(0, 3)) == 64
+
+    def test_channel_members_cover_everything(self, topo):
+        members = topo.channel_members(0)
+        assert sorted(members) == list(range(256))
+
+
+class TestRingMath:
+    def test_ring_neighbor_wraps_east(self, topo):
+        last_bank = topo.dpu_id(BankCoord(0, 0, 0, 7))
+        assert topo.ring_neighbor(last_bank, +1) == topo.dpu_id(
+            BankCoord(0, 0, 0, 0)
+        )
+
+    def test_ring_neighbor_wraps_west(self, topo):
+        first = topo.dpu_id(BankCoord(0, 0, 0, 0))
+        assert topo.ring_neighbor(first, -1) == topo.dpu_id(
+            BankCoord(0, 0, 0, 7)
+        )
+
+    def test_ring_neighbor_stays_on_chip(self, topo):
+        for dpu in topo.chip_members(0, 2, 3):
+            neighbor = topo.coord(topo.ring_neighbor(dpu))
+            assert (neighbor.rank, neighbor.chip) == (2, 3)
+
+    def test_invalid_direction_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.ring_neighbor(0, 2)
+
+    def test_ring_distance(self, topo):
+        assert topo.ring_distance(0, 3) == 3
+        assert topo.ring_distance(3, 0) == 5
+        assert topo.ring_distance(5, 5) == 0
+
+    def test_ring_distance_out_of_range(self, topo):
+        with pytest.raises(TopologyError):
+            topo.ring_distance(0, 8)
+
+    def test_chip_ring_neighbor(self, topo):
+        assert topo.chip_ring_neighbor(7, +1) == 0
+        assert topo.chip_ring_neighbor(0, -1) == 7

@@ -1,0 +1,62 @@
+"""Table VII configuration variants (GEMV sizes, MLP layer sizes)."""
+
+import pytest
+
+from repro.config import pimnet_sim_system
+from repro.workloads import (
+    compare_backends,
+    gemv_1024x64,
+    gemv_2048x128,
+    mlp_configs,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return pimnet_sim_system()
+
+
+class TestGemvVariants:
+    def test_paper_configurations(self):
+        small = gemv_1024x64()
+        large = gemv_2048x128()
+        assert (small.rows, small.cols_per_dpu) == (1024, 64)
+        assert (large.rows, large.cols_per_dpu) == (2048, 128)
+
+    def test_both_benefit_from_pimnet(self, machine):
+        for workload in (gemv_1024x64(), gemv_2048x128()):
+            results = compare_backends(workload, machine, ["B", "P"])
+            assert results["P"].speedup_over(results["B"]) > 1.3
+
+    def test_larger_tile_is_more_compute_bound(self, machine):
+        """The 2048x128 tile quadruples compute but only doubles the RS
+        payload, so its comm fraction — and PIMnet gain — is smaller."""
+        small = compare_backends(gemv_1024x64(), machine, ["B", "P"])
+        large = compare_backends(gemv_2048x128(), machine, ["B", "P"])
+        assert (
+            large["B"].comm_fraction < small["B"].comm_fraction
+        )
+        assert large["P"].speedup_over(large["B"]) < small[
+            "P"
+        ].speedup_over(small["B"])
+
+
+class TestMlpVariants:
+    def test_three_paper_sizes(self):
+        configs = mlp_configs()
+        assert set(configs) == {"MLP-256", "MLP-512", "MLP-1024"}
+        assert configs["MLP-1024"].layer_sizes == (1024, 1024, 1024)
+
+    def test_speedup_shrinks_with_layer_size(self, machine):
+        """Bigger square layers mean quadratically more emulated
+        multiplies against linearly more AllReduce payload."""
+        speedups = {}
+        for name, workload in mlp_configs().items():
+            results = compare_backends(workload, machine, ["B", "P"])
+            speedups[name] = results["P"].speedup_over(results["B"])
+        assert speedups["MLP-256"] > speedups["MLP-512"] > speedups["MLP-1024"]
+
+    def test_all_above_one(self, machine):
+        for workload in mlp_configs().values():
+            results = compare_backends(workload, machine, ["B", "P"])
+            assert results["P"].speedup_over(results["B"]) > 1.0

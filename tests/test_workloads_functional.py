@@ -1,0 +1,177 @@
+"""Distributed workload implementations vs single-node references.
+
+Every Table VII workload's distributed algorithm runs through real
+collective backends on small instances and must match its numpy
+reference exactly — this is what makes the timing models trustworthy
+(they time algorithms that demonstrably compute the right answers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import registry
+from repro.workloads import (
+    distributed_bfs,
+    distributed_connected_components,
+    distributed_embedding_lookup,
+    distributed_gemv,
+    distributed_hash_join,
+    distributed_mlp,
+    distributed_ntt_2d,
+    distributed_spmv,
+    embedding_reference,
+    join_reference,
+    mlp_reference,
+    ntt_reference,
+    bfs_reference,
+    connected_components_reference,
+    random_coo_matrix,
+    rmat_graph,
+    spmv_reference,
+    MODULUS,
+    root_of_unity,
+)
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(params=["P", "B", "S"])
+def backend(request, tiny_machine):
+    """Run each functional check through PIMnet and two host backends."""
+    return registry.create(request.param, tiny_machine)
+
+
+class TestGemv:
+    def test_matches_numpy(self, backend, rng):
+        W = rng.integers(-9, 9, (32, 64)).astype(np.int64)
+        x = rng.integers(-9, 9, 64).astype(np.int64)
+        assert np.array_equal(distributed_gemv(W, x, backend), W @ x)
+
+    def test_cols_must_divide(self, backend, rng):
+        W = rng.integers(0, 3, (16, 12)).astype(np.int64)
+        with pytest.raises(WorkloadError):
+            distributed_gemv(W, np.zeros(12, dtype=np.int64), backend)
+
+    def test_rows_must_divide(self, backend, rng):
+        W = rng.integers(0, 3, (12, 16)).astype(np.int64)
+        with pytest.raises(WorkloadError):
+            distributed_gemv(W, np.zeros(16, dtype=np.int64), backend)
+
+
+class TestMlp:
+    def test_three_layer_forward(self, backend, rng):
+        layers = [
+            rng.integers(-3, 3, (16, 16)).astype(np.int64) for _ in range(3)
+        ]
+        x = rng.integers(0, 4, 16).astype(np.int64)
+        assert np.array_equal(
+            distributed_mlp(layers, x, backend), mlp_reference(layers, x)
+        )
+
+    def test_rectifier_applied(self, backend):
+        layers = [np.full((8, 8), -1, dtype=np.int64)]
+        x = np.ones(8, dtype=np.int64)
+        out = distributed_mlp(layers, x, backend)
+        assert np.all(out == 0)
+
+
+class TestSpmv:
+    def test_matches_reference(self, backend, rng):
+        coo = random_coo_matrix(64, 64, 400, seed=9)
+        x = rng.integers(0, 9, 64).astype(np.int64)
+        result = distributed_spmv(coo, 64, 64, x, backend)
+        assert np.array_equal(result, spmv_reference(coo, 64, x))
+
+    def test_empty_columns_are_fine(self, backend):
+        r = np.array([0, 1], dtype=np.int64)
+        c = np.array([0, 0], dtype=np.int64)
+        v = np.array([2, 3], dtype=np.int64)
+        x = np.ones(8, dtype=np.int64)
+        result = distributed_spmv((r, c, v), 8, 8, x, backend)
+        expected = np.zeros(8, dtype=np.int64)
+        expected[0], expected[1] = 2, 3
+        assert np.array_equal(result, expected)
+
+
+class TestNtt:
+    def test_roots_of_unity(self):
+        w = root_of_unity(64)
+        assert pow(w, 64, MODULUS) == 1
+        assert pow(w, 32, MODULUS) != 1
+
+    def test_reference_matches_naive_dft(self, rng):
+        n = 16
+        x = rng.integers(0, MODULUS, n).astype(np.int64)
+        w = root_of_unity(n)
+        naive = np.array(
+            [
+                sum(int(x[i]) * pow(w, i * k, MODULUS) for i in range(n))
+                % MODULUS
+                for k in range(n)
+            ],
+            dtype=np.int64,
+        )
+        assert np.array_equal(ntt_reference(x), naive)
+
+    def test_distributed_2d_matches_reference(self, backend, rng):
+        n = backend.num_dpus
+        x = rng.integers(0, MODULUS, n * n).astype(np.int64)
+        assert np.array_equal(
+            distributed_ntt_2d(x, backend), ntt_reference(x)
+        )
+
+    def test_size_must_be_square_of_dpus(self, backend, rng):
+        with pytest.raises(WorkloadError):
+            distributed_ntt_2d(np.zeros(10, dtype=np.int64), backend)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(WorkloadError):
+            ntt_reference(np.zeros(12, dtype=np.int64))
+
+
+class TestEmbedding:
+    def test_pooled_lookup_matches(self, backend, rng):
+        table = rng.integers(0, 50, (64, 8)).astype(np.int64)
+        indices = rng.integers(0, 64, (8, 5))
+        assert np.array_equal(
+            distributed_embedding_lookup(table, indices, backend),
+            embedding_reference(table, indices),
+        )
+
+    def test_batch_dim_divisibility_checked(self, backend, rng):
+        table = rng.integers(0, 5, (16, 3)).astype(np.int64)
+        indices = rng.integers(0, 16, (3, 2))
+        with pytest.raises(WorkloadError):
+            distributed_embedding_lookup(table, indices, backend)
+
+
+class TestJoin:
+    def test_match_count(self, backend, rng):
+        left = rng.choice(5000, 300, replace=False)
+        right = rng.choice(5000, 200, replace=False)
+        assert distributed_hash_join(left, right, backend) == join_reference(
+            left, right
+        )
+
+    def test_disjoint_keys_give_zero(self, backend):
+        left = np.arange(0, 100, dtype=np.int64)
+        right = np.arange(1000, 1100, dtype=np.int64)
+        assert distributed_hash_join(left, right, backend) == 0
+
+    def test_full_overlap(self, backend):
+        keys = np.arange(64, dtype=np.int64)
+        assert distributed_hash_join(keys, keys, backend) == 64
+
+
+class TestGraphWorkloads:
+    def test_distributed_bfs(self, backend):
+        graph = rmat_graph(128, 400, seed=21)
+        assert np.array_equal(
+            distributed_bfs(graph, 0, backend), bfs_reference(graph, 0)
+        )
+
+    def test_distributed_cc(self, backend):
+        graph = rmat_graph(96, 300, seed=22)
+        assert np.array_equal(
+            distributed_connected_components(graph, backend),
+            connected_components_reference(graph),
+        )

@@ -1,0 +1,170 @@
+"""Workload timing models: phase structure and calibration bands."""
+
+import pytest
+
+from repro.collectives import Collective
+from repro.workloads import (
+    BfsWorkload,
+    CcWorkload,
+    EmbeddingWorkload,
+    GemvWorkload,
+    JoinWorkload,
+    MlpWorkload,
+    NttWorkload,
+    SpmvWorkload,
+    compare_backends,
+    emb_synth,
+    paper_workloads,
+    rm3,
+)
+from repro.workloads.base import CommPhase, ComputePhase, ExecutionEngine
+from repro.errors import WorkloadError
+
+
+class TestPhaseStructure:
+    def test_gemv_alternates_compute_and_rs(self, machine):
+        phases = GemvWorkload(batch=2).phases(machine)
+        assert isinstance(phases[0], ComputePhase)
+        assert isinstance(phases[1], CommPhase)
+        assert phases[1].request.pattern is Collective.REDUCE_SCATTER
+        assert len(phases) == 4
+
+    def test_mlp_has_ar_per_layer(self, machine):
+        workload = MlpWorkload(batch=1)
+        comm = [
+            p for p in workload.phases(machine) if isinstance(p, CommPhase)
+        ]
+        assert len(comm) == len(workload.layer_sizes)
+        assert all(
+            p.request.pattern is Collective.ALL_REDUCE for p in comm
+        )
+
+    def test_ntt_has_single_a2a_transpose(self, machine):
+        comm = [
+            p
+            for p in NttWorkload().phases(machine)
+            if isinstance(p, CommPhase)
+        ]
+        assert len(comm) == 1
+        assert comm[0].request.pattern is Collective.ALL_TO_ALL
+
+    def test_join_phase_order(self, machine):
+        phases = JoinWorkload().phases(machine)
+        kinds = [type(p).__name__ for p in phases]
+        assert kinds == ["ComputePhase", "CommPhase", "ComputePhase"]
+
+    def test_graph_workloads_iterate(self, machine):
+        bfs_phases = BfsWorkload(iterations=5).phases(machine)
+        assert sum(isinstance(p, CommPhase) for p in bfs_phases) == 5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            GemvWorkload(rows=0)
+        with pytest.raises(WorkloadError):
+            MlpWorkload(layer_sizes=())
+        with pytest.raises(WorkloadError):
+            NttWorkload(size=100)
+        with pytest.raises(WorkloadError):
+            EmbeddingWorkload(pooling=0)
+        with pytest.raises(WorkloadError):
+            CcWorkload(update_fraction=0)
+        with pytest.raises(WorkloadError):
+            JoinWorkload(num_tuples=0)
+        with pytest.raises(WorkloadError):
+            SpmvWorkload(rows=0)
+        with pytest.raises(WorkloadError):
+            BfsWorkload(iterations=0)
+
+
+class TestExecutionEngine:
+    def test_result_accumulates(self, machine):
+        engine = ExecutionEngine(machine, "P")
+        result = engine.run(CcWorkload(iterations=4))
+        assert result.compute_s > 0
+        assert result.comm_s > 0
+        assert result.num_collectives == 4
+        assert result.total_s == pytest.approx(
+            result.compute_s + result.comm_s
+        )
+
+    def test_backend_key_recorded(self, machine):
+        result = ExecutionEngine(machine, "B").run(GemvWorkload(batch=1))
+        assert result.backend == "B"
+
+    def test_phase_times_reported(self, machine):
+        result = ExecutionEngine(machine, "P").run(NttWorkload())
+        names = [name for name, _ in result.phase_times]
+        assert "transpose-A2A" in names
+
+    def test_compare_backends_skips_unsupported(self, machine):
+        results = compare_backends(CcWorkload(), machine, ["B", "N", "P"])
+        assert "N" not in results  # no AllReduce on NDPBridge
+        assert {"B", "P"} <= set(results)
+
+    def test_compare_backends_keeps_n_for_a2a(self, machine):
+        results = compare_backends(JoinWorkload(), machine, ["B", "N", "P"])
+        assert "N" in results
+
+
+class TestCalibrationBands:
+    """The Fig 10 anchors this reproduction is tuned to (paper values)."""
+
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        from repro.config import pimnet_sim_system
+
+        machine = pimnet_sim_system()
+        out = {}
+        for name, workload in paper_workloads().items():
+            results = compare_backends(workload, machine, ["B", "P"])
+            out[name] = results["P"].speedup_over(results["B"])
+        return out
+
+    def test_cc_near_paper_5_6x(self, speedups):
+        assert 4.5 <= speedups["CC"] <= 7.0
+
+    def test_mlp_near_paper_1_3x(self, speedups):
+        assert 1.1 <= speedups["MLP"] <= 1.6
+
+    def test_spmv_near_paper_2_4x(self, speedups):
+        assert 2.0 <= speedups["SpMV"] <= 4.0
+
+    def test_join_near_paper_1_36x(self, speedups):
+        assert 1.2 <= speedups["Join"] <= 1.8
+
+    def test_rm3_is_best_emb_variant(self, speedups):
+        assert speedups["RM3"] == max(
+            speedups[v] for v in ("EMB_Synth", "RM1", "RM2", "RM3")
+        )
+
+    def test_headline_under_paper_max(self, speedups):
+        """Paper: up to 11.8x on real applications."""
+        assert max(speedups.values()) <= 13.0
+
+    def test_cc_beats_bfs(self, speedups):
+        """More communication per iteration -> larger PIMnet gain."""
+        assert speedups["CC"] > speedups["BFS"]
+
+    def test_everything_benefits(self, speedups):
+        assert all(v > 1.0 for v in speedups.values())
+
+    def test_graph_comm_fraction_near_83_percent(self):
+        """Paper: AllReduce is up to 83% of graph-workload time on B."""
+        from repro.config import pimnet_sim_system
+
+        machine = pimnet_sim_system()
+        result = ExecutionEngine(machine, "B").run(CcWorkload())
+        assert 0.7 <= result.comm_fraction <= 0.95
+
+
+class TestEmbVariants:
+    def test_synth_matches_paper_config(self):
+        workload = emb_synth()
+        assert workload.pooling == 8
+        assert workload.batch == 256
+        assert workload.dim == 64
+        assert workload.table_rows == 4_000_000
+
+    def test_rm3_is_widest(self):
+        assert rm3().dim == 128
+        assert rm3().batch == 512

@@ -1,0 +1,48 @@
+"""The one-call workload self-verification harness."""
+
+import pytest
+
+from repro.config import small_test_system
+from repro.workloads import VerificationResult, all_passed, verify_all
+from repro.workloads.verification import VERIFIERS
+
+
+class TestVerifyAll:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return verify_all(small_test_system())
+
+    def test_every_workload_covered(self, results):
+        assert {r.workload for r in results} == set(VERIFIERS)
+
+    def test_everything_passes_on_pimnet(self, results):
+        failing = [r for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_all_passed_helper(self, results):
+        assert all_passed(results)
+
+    def test_host_backend_also_passes(self):
+        assert all_passed(verify_all(small_test_system(), backend_key="B"))
+
+    def test_deterministic_under_seed(self):
+        a = verify_all(small_test_system(), seed=1)
+        b = verify_all(small_test_system(), seed=1)
+        assert a == b
+
+    def test_failure_is_reported_not_raised(self, monkeypatch):
+        import repro.workloads.verification as v
+
+        def broken(backend, rng):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setitem(v.VERIFIERS, "GEMV", broken)
+        results = verify_all(small_test_system())
+        gemv = next(r for r in results if r.workload == "GEMV")
+        assert not gemv.passed
+        assert "injected fault" in gemv.detail
+        assert not all_passed(results)
+
+    def test_result_dataclass(self):
+        r = VerificationResult("X", True)
+        assert r.passed and r.detail == ""
