@@ -49,8 +49,15 @@ from .core import (
     pimnet_reduce,
     pimnet_reduce_scatter,
 )
+from .config import TraceConfig
 from .errors import ReproError
 from .machine import PimMachine
+from .observability import (
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    build_instrumentation,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +85,10 @@ __all__ = [
     "pimnet_reduce_scatter",
     "PimMachine",
     "ReproError",
+    "Instrumentation",
+    "MetricsRegistry",
+    "TraceConfig",
+    "Tracer",
+    "build_instrumentation",
     "__version__",
 ]

@@ -3,24 +3,43 @@
 Usage::
 
     python -m repro list                 # enumerate experiments
+    python -m repro list --json          # ... as machine-readable JSON
     python -m repro run fig10            # regenerate one figure/table
     python -m repro run all              # everything (fig13 is slowest)
-    python -m repro info                 # machine/backend summary
+    python -m repro run fig12 --trace t.json --metrics m.csv
+    python -m repro info [--json]        # machine/backend summary
+    python -m repro trace allreduce --payload 1MB --out trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from . import __version__
 from .collectives.backend import registry
+from .collectives.patterns import Collective, CollectiveRequest
 from .config.presets import pimnet_sim_system
+from .config.trace import TraceConfig
+from .config.units import parse_bytes
+from .errors import ReproError
+from .observability import Instrumentation, build_instrumentation
 
 
 #: Experiments whose run() needs the run_both treatment.
 _TWO_PANEL = {"fig03", "fig12"}
+
+#: Compact aliases accepted by ``repro trace`` on top of the enum values.
+_COLLECTIVE_ALIASES = {
+    "allreduce": Collective.ALL_REDUCE,
+    "reducescatter": Collective.REDUCE_SCATTER,
+    "allgather": Collective.ALL_GATHER,
+    "alltoall": Collective.ALL_TO_ALL,
+    "a2a": Collective.ALL_TO_ALL,
+    "bcast": Collective.BROADCAST,
+}
 
 
 def _experiment_modules():
@@ -29,13 +48,56 @@ def _experiment_modules():
     return EXPERIMENTS
 
 
-def cmd_list(_: argparse.Namespace) -> int:
+def _parse_collective(name: str) -> Collective:
+    normalized = name.strip().lower().replace("-", "").replace("_", "")
+    if normalized in _COLLECTIVE_ALIASES:
+        return _COLLECTIVE_ALIASES[normalized]
+    for pattern in Collective:
+        if pattern.value.replace("_", "") == normalized:
+            return pattern
+    known = sorted(
+        set(_COLLECTIVE_ALIASES) | {p.value for p in Collective}
+    )
+    raise ValueError(
+        f"unknown collective {name!r} (try: {', '.join(known)})"
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
     modules = _experiment_modules()
-    print("available experiments:")
+    entries = []
     for key in sorted(modules):
         doc = (modules[key].__doc__ or "").strip().splitlines()
-        summary = doc[0] if doc else ""
-        print(f"  {key:12s} {summary}")
+        entries.append({"id": key, "summary": doc[0] if doc else ""})
+    if getattr(args, "json", False):
+        print(json.dumps({"experiments": entries}, indent=1))
+        return 0
+    print("available experiments:")
+    for entry in entries:
+        print(f"  {entry['id']:12s} {entry['summary']}")
+    return 0
+
+
+def _run_instrumentation(args: argparse.Namespace) -> Instrumentation:
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    return build_instrumentation(
+        TraceConfig(
+            enabled=trace_path is not None,
+            metrics=metrics_path is not None,
+            trace_path=trace_path,
+            metrics_path=metrics_path,
+        )
+    )
+
+
+def _write_outputs(instrumentation: Instrumentation) -> int:
+    try:
+        for path in instrumentation.write():
+            print(f"wrote {path}")
+    except OSError as exc:
+        print(f"cannot write instrumentation output: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -50,16 +112,29 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    for key in keys:
-        module = modules[key]
-        if key in _TWO_PANEL:
-            for result in module.run_both():
-                print(module.format_table(result))
-                print()
-        else:
-            print(module.format_table(module.run()))
-            print()
-    return 0
+    instrumentation = _run_instrumentation(args)
+    with instrumentation.activate():
+        for key in keys:
+            module = modules[key]
+            with _experiment_span(instrumentation, key):
+                if key in _TWO_PANEL:
+                    for result in module.run_both():
+                        print(module.format_table(result))
+                        print()
+                else:
+                    print(module.format_table(module.run()))
+                    print()
+    return _write_outputs(instrumentation)
+
+
+def _experiment_span(instrumentation: Instrumentation, key: str):
+    if instrumentation.tracer is None:
+        from .observability import NULL_SPAN
+
+        return NULL_SPAN
+    return instrumentation.tracer.span(
+        f"experiment/{key}", category="experiment"
+    )
 
 
 def cmd_verify(_: argparse.Namespace) -> int:
@@ -75,25 +150,136 @@ def cmd_verify(_: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_info(_: argparse.Namespace) -> int:
+def _info_payload() -> dict:
     machine = pimnet_sim_system()
     system = machine.system
-    print(f"repro {__version__} — PIMnet (HPCA 2025) reproduction")
-    print(
-        f"default machine: {system.banks_per_channel} DPUs "
-        f"({system.banks_per_chip} banks x {system.chips_per_rank} chips "
-        f"x {system.ranks_per_channel} ranks), "
-        f"{system.dpu.frequency_hz / 1e6:.0f} MHz DPUs"
-    )
-    print(f"backends: {', '.join(registry.keys())}")
     net = machine.pimnet
+    return {
+        "version": __version__,
+        "paper": "PIMnet (HPCA 2025)",
+        "machine": {
+            "num_dpus": system.banks_per_channel,
+            "banks_per_chip": system.banks_per_chip,
+            "chips_per_rank": system.chips_per_rank,
+            "ranks_per_channel": system.ranks_per_channel,
+            "dpu_frequency_hz": system.dpu.frequency_hz,
+        },
+        "backends": registry.keys(),
+        "tiers": {
+            "inter_bank_bytes_per_s": (
+                net.inter_bank.bandwidth_per_channel_bytes_per_s
+            ),
+            "inter_chip_bytes_per_s": (
+                net.inter_chip.bandwidth_per_channel_bytes_per_s
+            ),
+            "inter_rank_bytes_per_s": (
+                net.inter_rank.bandwidth_per_channel_bytes_per_s
+            ),
+        },
+    }
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    payload = _info_payload()
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=1))
+        return 0
+    machine = payload["machine"]
+    tiers = payload["tiers"]
+    print(f"repro {payload['version']} — PIMnet (HPCA 2025) reproduction")
+    print(
+        f"default machine: {machine['num_dpus']} DPUs "
+        f"({machine['banks_per_chip']} banks x "
+        f"{machine['chips_per_rank']} chips "
+        f"x {machine['ranks_per_channel']} ranks), "
+        f"{machine['dpu_frequency_hz'] / 1e6:.0f} MHz DPUs"
+    )
+    print(f"backends: {', '.join(payload['backends'])}")
     print(
         "tiers: "
-        f"inter-bank {net.inter_bank.bandwidth_per_channel_bytes_per_s / 1e9:.2f} GB/s, "
-        f"inter-chip {net.inter_chip.bandwidth_per_channel_bytes_per_s / 1e9:.2f} GB/s, "
-        f"inter-rank {net.inter_rank.bandwidth_per_channel_bytes_per_s / 1e9:.2f} GB/s"
+        f"inter-bank {tiers['inter_bank_bytes_per_s'] / 1e9:.2f} GB/s, "
+        f"inter-chip {tiers['inter_chip_bytes_per_s'] / 1e9:.2f} GB/s, "
+        f"inter-rank {tiers['inter_rank_bytes_per_s'] / 1e9:.2f} GB/s"
     )
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        pattern = _parse_collective(args.collective)
+        payload_bytes = parse_bytes(args.payload)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    machine = pimnet_sim_system()
+    instrumentation = build_instrumentation(
+        TraceConfig(
+            enabled=True,
+            metrics=True,
+            clock=args.clock,
+            trace_path=args.out,
+            metrics_path=args.metrics,
+        )
+    )
+    tracer = instrumentation.tracer
+    try:
+        with instrumentation.activate():
+            with tracer.span(
+                f"trace/{pattern.value}",
+                category="cli",
+                backend=args.backend,
+                payload_bytes=payload_bytes,
+            ) as root:
+                backend = registry.create(args.backend, machine)
+                request = CollectiveRequest(pattern, payload_bytes)
+                breakdown = backend.timing(request)
+                root.set_sim_window(0.0, breakdown.total_s)
+                if _has_phase_timeline(args.backend, pattern, payload_bytes,
+                                       machine):
+                    from .core.timeline import allreduce_timeline
+
+                    allreduce_timeline(payload_bytes, machine)
+                else:
+                    _record_breakdown_spans(tracer, breakdown)
+    except ReproError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(instrumentation.tree())
+    return _write_outputs(instrumentation)
+
+
+def _has_phase_timeline(
+    backend_key: str, pattern: Collective, payload_bytes: int, machine
+) -> bool:
+    """Whether the Algorithm 1 phase timeline applies to this request."""
+    return (
+        backend_key == "P"
+        and pattern is Collective.ALL_REDUCE
+        and payload_bytes % (8 * machine.system.banks_per_channel) == 0
+    )
+
+
+def _record_breakdown_spans(tracer, breakdown) -> None:
+    """Generic fallback: one sim-time span per breakdown component.
+
+    Components are laid end to end in Fig 11 order; backends without an
+    Algorithm 1 phase timeline (host paths, prior work) still get a
+    meaningful simulated-time trace this way.
+    """
+    cursor = 0.0
+    for component, seconds in breakdown.as_dict().items():
+        if seconds <= 0:
+            continue
+        name = component.removesuffix("_s").replace("_", "-")
+        tracer.record(
+            name,
+            cursor,
+            cursor + seconds,
+            category="phase",
+            component=component,
+        )
+        cursor += seconds
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,13 +293,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="enumerate experiments")
+    p_list.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser("run", help="run one experiment (or 'all')")
     p_run.add_argument("experiment", help="experiment id, e.g. fig10")
+    p_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the run to PATH",
+    )
+    p_run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write collected metrics to PATH (.csv for CSV, else JSON)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_info = sub.add_parser("info", help="show machine/backend summary")
+    p_info.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     p_info.set_defaults(func=cmd_info)
 
     p_verify = sub.add_parser(
@@ -121,6 +325,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every workload against its single-node reference",
     )
     p_verify.set_defaults(func=cmd_verify)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace one collective and export spans/metrics",
+    )
+    p_trace.add_argument(
+        "collective",
+        help="pattern to trace, e.g. allreduce, alltoall, broadcast",
+    )
+    p_trace.add_argument(
+        "--payload",
+        default="1MB",
+        help="per-DPU payload size, e.g. 32KB or 1MB (binary units)",
+    )
+    p_trace.add_argument(
+        "--backend",
+        default="P",
+        help="backend key (default P; see 'repro info' for the list)",
+    )
+    p_trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (Perfetto-loadable) to PATH",
+    )
+    p_trace.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write collected metrics to PATH (.csv for CSV, else JSON)",
+    )
+    p_trace.add_argument(
+        "--clock",
+        choices=("auto", "sim", "wall"),
+        default="auto",
+        help="time axis for the Chrome trace (default: auto)",
+    )
+    p_trace.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the span-tree dump on stdout",
+    )
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -9,16 +9,81 @@ this package; the PIMnet backend (P) lives with the core contribution in
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable
 
 import numpy as np
 
 from ..config.presets import MachineConfig
-from ..errors import BackendError, CollectiveError
+from ..errors import BackendError, CollectiveError, ReproError
+from ..observability import (
+    NULL_SPAN,
+    metric_counter,
+    metric_histogram,
+    observability_active,
+    trace_span,
+)
 from . import functional
 from .patterns import Collective, CollectiveRequest
 from .result import CollectiveResult, CommBreakdown
+
+
+def _instrumented_timing(inner: Callable) -> Callable:
+    """Wrap a backend's ``timing`` with tracing, metrics, and context.
+
+    Applied automatically to every concrete backend via
+    ``CollectiveBackend.__init_subclass__``, so each timing call (a) is
+    recorded as a span with the request and breakdown attached, (b)
+    feeds the per-backend duration histogram and byte counters, and (c)
+    re-raises library errors annotated with the backend key and request
+    summary, so failures deep in a timing model stay attributable.
+    """
+
+    def reraise_annotated(self, request, exc):
+        annotated = exc.with_context(
+            f"backend={self.key} ({self.name}), "
+            f"request={request.summary()}"
+        )
+        if annotated is exc:
+            raise
+        raise annotated from exc
+
+    @functools.wraps(inner)
+    def timing(self, request: CollectiveRequest) -> CommBreakdown:
+        if not observability_active():
+            # Fast path: no sinks installed, so pay nothing beyond this
+            # check — errors still get backend/request context.
+            try:
+                return inner(self, request)
+            except ReproError as exc:
+                reraise_annotated(self, request, exc)
+        with trace_span(
+            f"timing/{self.key}",
+            category="backend",
+            backend=self.key,
+            backend_name=self.name,
+            request=request.summary(),
+        ) as span:
+            try:
+                breakdown = inner(self, request)
+            except ReproError as exc:
+                reraise_annotated(self, request, exc)
+            span.set_sim_window(0.0, breakdown.total_s)
+            span.set_attributes(
+                **{k: v for k, v in breakdown.as_dict().items() if v}
+            )
+            metric_counter("collective.requests").inc()
+            metric_counter("collective.payload_bytes").inc(
+                request.payload_bytes
+            )
+            metric_histogram(f"backend.{self.key}.timing_s").observe(
+                breakdown.total_s
+            )
+            return breakdown
+
+    timing._repro_instrumented = True  # type: ignore[attr-defined]
+    return timing
 
 
 class CollectiveBackend(ABC):
@@ -41,6 +106,14 @@ class CollectiveBackend(ABC):
                 "use per-channel machines and compose above"
             )
         self.machine = machine
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        timing = cls.__dict__.get("timing")
+        if timing is not None and not getattr(
+            timing, "_repro_instrumented", False
+        ):
+            cls.timing = _instrumented_timing(timing)
 
     # -- shape shortcuts ---------------------------------------------------------
     @property
@@ -74,23 +147,35 @@ class CollectiveBackend(ABC):
         buffers: list[np.ndarray] | None = None,
     ) -> CollectiveResult:
         """Execute ``request``: timing always, data movement if buffers given."""
-        if not self.supports(request.pattern):
-            raise BackendError(
-                f"{self.name} does not support {request.pattern.value}"
+        if observability_active():
+            span = trace_span(
+                f"collective/{self.key}",
+                category="collective",
+                backend=self.key,
+                request=request.summary(),
+                functional=buffers is not None,
             )
-        request.validate_for(self.num_dpus)
-        outputs = None
-        if buffers is not None:
-            if len(buffers) != self.num_dpus:
-                raise CollectiveError(
-                    f"got {len(buffers)} buffers for {self.num_dpus} DPUs"
+        else:
+            span = NULL_SPAN
+        with span:
+            if not self.supports(request.pattern):
+                raise BackendError(
+                    f"{self.name} does not support {request.pattern.value}"
                 )
-            outputs = functional.execute(request, buffers)
-        return CollectiveResult(
-            breakdown=self.timing(request),
-            outputs=outputs,
-            backend_name=self.name,
-        )
+            request.validate_for(self.num_dpus)
+            outputs = None
+            if buffers is not None:
+                if len(buffers) != self.num_dpus:
+                    raise CollectiveError(
+                        f"got {len(buffers)} buffers for {self.num_dpus} DPUs"
+                    )
+                with trace_span("functional/execute", category="collective"):
+                    outputs = functional.execute(request, buffers)
+            return CollectiveResult(
+                breakdown=self.timing(request),
+                outputs=outputs,
+                backend_name=self.name,
+            )
 
     # -- shared timing helpers ---------------------------------------------------
     @staticmethod

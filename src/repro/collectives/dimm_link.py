@@ -22,6 +22,11 @@ from __future__ import annotations
 
 from ..config.units import transfer_time
 from ..errors import BackendError
+from ..observability import (
+    current_span,
+    metric_counter,
+    observability_active,
+)
 from .backend import CollectiveBackend, registry
 from .patterns import Collective, CollectiveRequest
 from .result import CommBreakdown
@@ -98,6 +103,11 @@ class DimmLinkBackend(CollectiveBackend):
 
     def timing(self, request: CollectiveRequest) -> CommBreakdown:
         into, out_of = self._local_volumes(request)
+        if observability_active():
+            current_span().set_attributes(
+                buffer_chip_in_bytes=into, buffer_chip_out_bytes=out_of
+            )
+            metric_counter("dimm_link.buffer_chip_bytes").inc(into + out_of)
         local_s = transfer_time(into + out_of, self.local_bytes_per_s)
         hops = 2 * self.machine.buffer_chip.hop_latency_s
         return CommBreakdown(

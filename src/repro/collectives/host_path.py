@@ -13,6 +13,11 @@ from dataclasses import dataclass
 
 from ..config.units import transfer_time
 from ..errors import BackendError
+from ..observability import (
+    current_span,
+    metric_counter,
+    observability_active,
+)
 from .backend import CollectiveBackend
 from .patterns import Collective, CollectiveRequest
 from .result import CommBreakdown
@@ -89,6 +94,17 @@ class HostMediatedBackend(CollectiveBackend):
         rates = self._rates()
         volumes = host_path_volumes(request, self.num_dpus)
         host = self.machine.host
+        if observability_active():
+            current_span().set_attributes(
+                up_bytes=volumes.up_bytes,
+                down_bytes=volumes.down_bytes,
+                down_broadcast_bytes=volumes.down_broadcast_bytes,
+                host_processed_bytes=volumes.host_processed_bytes,
+            )
+            metric_counter("host.up_bytes").inc(volumes.up_bytes)
+            metric_counter("host.down_bytes").inc(
+                volumes.down_bytes + volumes.down_broadcast_bytes
+            )
 
         transfer_s = (
             transfer_time(volumes.up_bytes, rates.gather_bytes_per_s)

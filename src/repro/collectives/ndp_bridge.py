@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..config.units import transfer_time
 from ..errors import BackendError
+from ..observability import current_span, observability_active
 from .backend import CollectiveBackend, registry
 from .patterns import Collective, CollectiveRequest, REDUCING_PATTERNS
 from .result import CommBreakdown
@@ -45,6 +46,8 @@ class NdpBridgeBackend(CollectiveBackend):
         payload = request.payload_bytes
         links = self.machine.host_links
         pattern = request.pattern
+        if observability_active():
+            current_span().set_attributes(per_rank_dpus=per_rank, ranks=r)
 
         if pattern is Collective.ALL_TO_ALL:
             # Intra-rank portion moves through the rank's bridges; the

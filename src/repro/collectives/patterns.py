@@ -89,6 +89,17 @@ class CollectiveRequest:
     def num_elements(self) -> int:
         return self.payload_bytes // np.dtype(self.dtype).itemsize
 
+    def summary(self) -> str:
+        """Compact one-line description, for error context and traces."""
+        parts = [f"{self.pattern.value} {self.payload_bytes}B/DPU"]
+        parts.append(self.dtype.name)
+        if self.pattern in REDUCING_PATTERNS:
+            parts.append(f"op={self.op.value}")
+        if self.pattern in (Collective.BROADCAST, Collective.REDUCE,
+                            Collective.GATHER):
+            parts.append(f"root={self.root}")
+        return " ".join(parts)
+
     def validate_for(self, num_dpus: int) -> None:
         """Check the request is executable across ``num_dpus`` DPUs."""
         if num_dpus < 1:

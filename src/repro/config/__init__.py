@@ -29,6 +29,7 @@ from .presets import (
     upmem_server,
 )
 from .system import DpuConfig, HostConfig, PimSystemConfig
+from .trace import TRACE_CLOCKS, TraceConfig
 
 __all__ = [
     "units",
@@ -51,4 +52,6 @@ __all__ = [
     "DpuConfig",
     "HostConfig",
     "PimSystemConfig",
+    "TRACE_CLOCKS",
+    "TraceConfig",
 ]

@@ -63,6 +63,51 @@ def transfer_time(num_bytes: float, bandwidth_bytes_per_s: float) -> float:
     return num_bytes / bandwidth_bytes_per_s
 
 
+#: Suffixes accepted by :func:`parse_bytes`.  Collective payloads are
+#: power-of-two shaped (they must divide across 2^k DPUs), so the short
+#: forms KB/MB/GB parse as their binary siblings — "1MB" is 1 MiB.
+_SIZE_MULTIPLIERS = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+}
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human size string ("1MB", "32KiB", "4096") into bytes."""
+    cleaned = str(text).strip()
+    digits = cleaned
+    suffix = ""
+    for i, ch in enumerate(cleaned):
+        if ch.isalpha():
+            digits, suffix = cleaned[:i], cleaned[i:]
+            break
+    suffix = suffix.strip().upper()
+    if suffix not in _SIZE_MULTIPLIERS:
+        raise ValueError(
+            f"unknown size suffix {suffix!r} in {text!r} "
+            f"(known: {sorted(s for s in _SIZE_MULTIPLIERS if s)})"
+        )
+    try:
+        value = float(digits.strip())
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    num_bytes = value * _SIZE_MULTIPLIERS[suffix]
+    if num_bytes <= 0 or num_bytes != int(num_bytes):
+        raise ValueError(
+            f"size {text!r} must be a positive whole number of bytes"
+        )
+    return int(num_bytes)
+
+
 def fmt_bytes(num_bytes: float) -> str:
     """Human-readable byte count (binary units), for reports and logs."""
     value = float(num_bytes)

@@ -12,6 +12,7 @@ from ..collectives.backend import CollectiveBackend, registry
 from ..collectives.patterns import Collective, CollectiveRequest
 from ..collectives.result import CommBreakdown
 from ..config.presets import MachineConfig
+from ..observability import trace_span
 from .schedule import CommSchedule, Shape, build_schedule
 from .timing import PimnetTimingModel
 
@@ -45,9 +46,20 @@ class PimnetBackend(CollectiveBackend):
         Reduce-Scatter, All-to-All, Broadcast); element counts must be
         divisible by the DPU count, as the compiler would pad.
         """
-        return build_schedule(
-            request.pattern, self.shape, request.num_elements, request.root
-        )
+        with trace_span(
+            "pimnet/schedule",
+            category="schedule",
+            request=request.summary(),
+        ) as span:
+            schedule = build_schedule(
+                request.pattern, self.shape, request.num_elements,
+                request.root,
+            )
+            span.set_attributes(
+                num_phases=len(schedule.phases),
+                num_transfers=schedule.num_transfers,
+            )
+            return schedule
 
     def supports(self, pattern: Collective) -> bool:
         return True

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import ScheduleError
 from ..collectives.patterns import Collective, ReduceOp
+from ..observability import metric_counter, trace_span
 
 
 class Tier(Enum):
@@ -700,6 +701,24 @@ def build_schedule(
     pattern: Collective, shape: Shape, num_elements: int, root: int = 0
 ) -> CommSchedule:
     """Dispatch to the pattern-specific schedule generator."""
+    with trace_span(
+        "schedule/build",
+        category="schedule",
+        pattern=pattern.value,
+        num_elements=num_elements,
+        num_dpus=shape.num_dpus,
+    ) as span:
+        schedule = _build_schedule(pattern, shape, num_elements, root)
+        span.set_attributes(
+            num_phases=len(schedule.phases),
+            num_transfers=schedule.num_transfers,
+        )
+        return schedule
+
+
+def _build_schedule(
+    pattern: Collective, shape: Shape, num_elements: int, root: int
+) -> CommSchedule:
     if pattern is Collective.ALL_REDUCE:
         return allreduce_schedule(shape, num_elements)
     if pattern is Collective.REDUCE_SCATTER:
@@ -760,23 +779,51 @@ def execute_schedule(
         ]
     uses_output = out is not None
 
-    for phase in schedule.phases:
-        for step in phase.steps:
-            staged: list[tuple[Transfer, np.ndarray]] = []
-            for t in step.transfers:
-                source = out[t.src] if t.read_output else work[t.src]
-                staged.append(
-                    (t, source[t.src_offset : t.src_offset + t.length].copy())
-                )
-            for t, data in staged:
-                target = out[t.dst] if t.into_output else work[t.dst]
-                view = target[t.dst_offset : t.dst_offset + t.length]
-                if t.combine:
-                    target[t.dst_offset : t.dst_offset + t.length] = op.apply(
-                        view, data
-                    )
-                else:
-                    target[t.dst_offset : t.dst_offset + t.length] = data
+    with trace_span(
+        "schedule/execute",
+        category="schedule",
+        pattern=schedule.pattern.value,
+        num_phases=len(schedule.phases),
+        num_transfers=schedule.num_transfers,
+    ):
+        for phase in schedule.phases:
+            phase_elements = sum(
+                t.length for step in phase.steps for t in step.transfers
+            )
+            with trace_span(
+                f"phase/{phase.name}",
+                category="schedule",
+                tier=phase.tier.value,
+                algorithm=phase.algorithm,
+                num_steps=len(phase.steps),
+                elements=phase_elements,
+            ):
+                metric_counter(
+                    f"schedule.elements.{phase.tier.value}"
+                ).inc(phase_elements)
+                for step in phase.steps:
+                    staged: list[tuple[Transfer, np.ndarray]] = []
+                    for t in step.transfers:
+                        source = out[t.src] if t.read_output else work[t.src]
+                        staged.append(
+                            (
+                                t,
+                                source[
+                                    t.src_offset : t.src_offset + t.length
+                                ].copy(),
+                            )
+                        )
+                    for t, data in staged:
+                        target = out[t.dst] if t.into_output else work[t.dst]
+                        view = target[t.dst_offset : t.dst_offset + t.length]
+                        if t.combine:
+                            target[
+                                t.dst_offset : t.dst_offset + t.length
+                            ] = op.apply(view, data)
+                        else:
+                            target[
+                                t.dst_offset : t.dst_offset + t.length
+                            ] = data
 
     return out if uses_output else work
 
@@ -795,29 +842,52 @@ def schedule_timing(
     range).
     """
     times: dict[Tier, float] = {t: 0.0 for t in Tier}
+    tier_bytes: dict[Tier, float] = {t: 0.0 for t in Tier}
     shape = schedule.shape
-    for phase in schedule.phases:
-        for step in phase.steps:
-            if phase.tier is Tier.LOCAL:
-                continue
-            if phase.tier is Tier.BANK:
-                times[Tier.BANK] += _bank_step_time(
-                    shape, step, network.inter_bank, itemsize
-                )
-            elif phase.tier is Tier.CHIP:
-                times[Tier.CHIP] += _chip_step_time(
-                    shape, step, network.inter_chip, itemsize
-                )
-            elif phase.tier is Tier.RANK:
-                efficiency = (
-                    network.inter_rank_unicast_efficiency
-                    if phase.algorithm == "unicast"
-                    else 1.0
-                )
-                times[Tier.RANK] += _rank_step_time(
-                    shape, step, network.inter_rank, network.inter_chip,
-                    itemsize, efficiency,
-                )
+    with trace_span(
+        "schedule/timing",
+        category="schedule",
+        pattern=schedule.pattern.value,
+        num_transfers=schedule.num_transfers,
+    ) as span:
+        for phase in schedule.phases:
+            for step in phase.steps:
+                if phase.tier is not Tier.LOCAL:
+                    tier_bytes[phase.tier] += sum(
+                        t.length * itemsize for t in step.transfers
+                    )
+                if phase.tier is Tier.LOCAL:
+                    continue
+                if phase.tier is Tier.BANK:
+                    times[Tier.BANK] += _bank_step_time(
+                        shape, step, network.inter_bank, itemsize
+                    )
+                elif phase.tier is Tier.CHIP:
+                    times[Tier.CHIP] += _chip_step_time(
+                        shape, step, network.inter_chip, itemsize
+                    )
+                elif phase.tier is Tier.RANK:
+                    efficiency = (
+                        network.inter_rank_unicast_efficiency
+                        if phase.algorithm == "unicast"
+                        else 1.0
+                    )
+                    times[Tier.RANK] += _rank_step_time(
+                        shape, step, network.inter_rank, network.inter_chip,
+                        itemsize, efficiency,
+                    )
+        for tier in (Tier.BANK, Tier.CHIP, Tier.RANK):
+            metric_counter(f"schedule.bytes.{tier.value}").inc(
+                tier_bytes[tier]
+            )
+        span.set_attributes(
+            **{f"{t.value}_s": times[t] for t in times if times[t]},
+            **{
+                f"{t.value}_bytes": tier_bytes[t]
+                for t in tier_bytes
+                if tier_bytes[t]
+            },
+        )
     return times
 
 

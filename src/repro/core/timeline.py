@@ -14,6 +14,7 @@ from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig, pimnet_sim_system
 from ..config.units import fmt_seconds
 from ..errors import ScheduleError
+from ..observability import metric_histogram, trace_span
 from .addressing import AllReduceAddressGenerator
 from .pimnet import PimnetBackend
 from .schedule import Shape
@@ -90,7 +91,47 @@ def allreduce_timeline(
     entries.sort(key=lambda e: e.start_s)
     request = CollectiveRequest(Collective.ALL_REDUCE, payload_bytes)
     sync_s = backend.timing(request).sync_s
-    return CollectiveTimeline(entries=tuple(entries), sync_s=sync_s)
+    timeline = CollectiveTimeline(entries=tuple(entries), sync_s=sync_s)
+    _emit_timeline_spans(timeline, payload_bytes, shape.num_dpus)
+    return timeline
+
+
+def _emit_timeline_spans(
+    timeline: CollectiveTimeline, payload_bytes: int, num_dpus: int
+) -> None:
+    """Record the phase windows as simulated-time spans (Fig 5(d)).
+
+    Each entry becomes a child span named ``<domain>-<phase>`` (the same
+    labels as :func:`format_timeline`) whose sim window is the phase's
+    Algorithm 1 offset and closed-form duration, so a Chrome trace of a
+    traced run *is* the paper's execution-flow diagram.
+    """
+    with trace_span(
+        "timeline/allreduce",
+        category="timeline",
+        payload_bytes=payload_bytes,
+        num_dpus=num_dpus,
+    ) as root:
+        root.set_sim_window(0.0, timeline.total_s)
+        for e in timeline.entries:
+            with trace_span(
+                f"{e.domain}-{e.phase}",
+                category="phase",
+                domain=e.domain,
+                phase=e.phase,
+                sim_start_s=e.start_s,
+                sim_end_s=e.end_s,
+            ):
+                pass
+            metric_histogram("timeline.phase_s").observe(e.duration_s)
+        transport_s = max((e.end_s for e in timeline.entries), default=0.0)
+        with trace_span(
+            "sync",
+            category="phase",
+            sim_start_s=transport_s,
+            sim_end_s=transport_s + timeline.sync_s,
+        ):
+            pass
 
 
 def format_timeline(timeline: CollectiveTimeline, width: int = 52) -> str:

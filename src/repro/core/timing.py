@@ -21,6 +21,7 @@ from ..config.presets import MachineConfig
 from ..config.units import transfer_time
 from ..errors import BackendError
 from ..memory.bank import BankMemory
+from ..observability import metric_histogram, observability_active, trace_span
 from .sync import SyncTree
 
 
@@ -277,6 +278,37 @@ class PimnetTimingModel:
     # -- public interface ------------------------------------------------------------
     def breakdown(self, request: CollectiveRequest) -> CommBreakdown:
         """Full PIMnet communication-time breakdown for one collective."""
+        if not observability_active():
+            return self._breakdown(request)
+        with trace_span(
+            "pimnet/breakdown",
+            category="timing",
+            pattern=request.pattern.value,
+            payload_bytes=request.payload_bytes,
+        ) as span:
+            breakdown = self._breakdown(request)
+            span.set_attributes(
+                num_phases=self._tier_times(request).num_phases,
+                inter_bank_s=breakdown.inter_bank_s,
+                inter_chip_s=breakdown.inter_chip_s,
+                inter_rank_s=breakdown.inter_rank_s,
+                sync_s=breakdown.sync_s,
+                mem_s=breakdown.mem_s,
+            )
+            metric_histogram("pimnet.tier.bank_s").observe(
+                breakdown.inter_bank_s
+            )
+            metric_histogram("pimnet.tier.chip_s").observe(
+                breakdown.inter_chip_s
+            )
+            metric_histogram("pimnet.tier.rank_s").observe(
+                breakdown.inter_rank_s
+            )
+            metric_histogram("pimnet.sync_s").observe(breakdown.sync_s)
+            span.set_sim_window(0.0, breakdown.total_s)
+            return breakdown
+
+    def _breakdown(self, request: CollectiveRequest) -> CommBreakdown:
         tiers = self._tier_times(request)
         sync_s = self.sync_tree.phase_sync_time_s(max(1, tiers.num_phases))
         mem_s = self._bank_memory.staging_time(

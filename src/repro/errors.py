@@ -10,6 +10,24 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Set once :meth:`with_context` has annotated the message, so
+    #: layered handlers do not stack the same context repeatedly.
+    _context_attached: bool = False
+
+    def with_context(self, context: str) -> "ReproError":
+        """This error with ``context`` appended to its message.
+
+        Returns ``self`` unchanged if context was already attached;
+        otherwise returns a new exception of the same type.  Backend
+        timing paths use this so that an error surfacing from deep in a
+        timing model still names the backend and request that hit it.
+        """
+        if self._context_attached:
+            return self
+        annotated = type(self)(f"{self} [{context}]")
+        annotated._context_attached = True
+        return annotated
+
 
 class ConfigurationError(ReproError):
     """A system, network, or workload configuration is invalid."""
@@ -45,3 +63,7 @@ class MemoryModelError(ReproError):
 
 class IsaError(ReproError):
     """The DPU ISA interpreter hit an illegal instruction or operand."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing or metrics layer was used inconsistently."""

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
+from ..observability import metric_counter, metric_gauge, trace_span
 from .flit import Flit, Message, SimStats
 from .links import Link
 from .network import NocNetwork
@@ -74,6 +75,32 @@ class NocSimulator:
 
     # -- main loop -------------------------------------------------------------------
     def run(self, max_cycles: int = 50_000_000) -> SimStats:
+        """Simulate to completion; the cycle loop itself is in `_run`."""
+        with trace_span(
+            "noc/run",
+            category="noc",
+            num_messages=len(self.messages),
+            scheduled=self.use_barriers,
+        ) as span:
+            stats = self._run(max_cycles)
+            span.set_attributes(
+                cycles=stats.cycles,
+                flits_delivered=stats.flits_delivered,
+                arbitration_conflicts=stats.arbitration_conflicts,
+                peak_buffer_occupancy=stats.peak_buffer_occupancy,
+            )
+            metric_counter("noc.cycles").inc(stats.cycles)
+            metric_counter("noc.flits_delivered").inc(stats.flits_delivered)
+            metric_counter("noc.flit_hops").inc(stats.total_flit_hops)
+            metric_counter("noc.arbitration_conflicts").inc(
+                stats.arbitration_conflicts
+            )
+            metric_gauge("noc.peak_buffer_occupancy").max(
+                stats.peak_buffer_occupancy
+            )
+            return stats
+
+    def _run(self, max_cycles: int) -> SimStats:
         network = self.network
         network.reset()
         stats = SimStats()

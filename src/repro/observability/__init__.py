@@ -1,0 +1,178 @@
+"""Structured tracing and metrics for the PIMnet simulator.
+
+Three pieces:
+
+* :mod:`repro.observability.tracer` — nested :class:`Span` trees with
+  wall *and* simulated clocks, recorded by a :class:`Tracer`;
+* :mod:`repro.observability.metrics` — a :class:`MetricsRegistry` of
+  counters/gauges/histograms (bytes per tier, phase durations, NoC flit
+  counts, ...);
+* :mod:`repro.observability.export` — Chrome trace-event JSON (Perfetto
+  / ``chrome://tracing``), indented tree dumps, and CSV/JSON metrics.
+
+Instrumented library code dispatches through the module-level helpers
+(:func:`trace_span`, :func:`current_span`, :func:`metric_counter`, ...);
+with nothing installed they hit shared no-op objects, so the default
+path is effectively free.  Typical use::
+
+    from repro.observability import Instrumentation
+
+    inst = Instrumentation.enabled()
+    with inst.activate():
+        backend.timing(request)          # spans + metrics recorded
+    inst.write()                          # honor TraceConfig paths
+    print(inst.tree())
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config.trace import TraceConfig
+from .export import (
+    chrome_trace_events,
+    format_span_tree,
+    metrics_to_csv,
+    metrics_to_json,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    metric_counter,
+    metric_gauge,
+    metric_histogram,
+    metrics_active,
+    set_active_metrics,
+    use_metrics,
+)
+from .tracer import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    active_tracer,
+    current_span,
+    set_active_tracer,
+    trace_span,
+    traced,
+    tracing_active,
+    use_tracer,
+)
+
+
+def observability_active() -> bool:
+    """Whether any instrumentation sink (tracer or metrics) is live.
+
+    The one check hot paths make before building span names, attribute
+    dicts, or request summaries — when False, instrumented code must be
+    indistinguishable from uninstrumented code.
+    """
+    return tracing_active() or metrics_active()
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "TraceConfig",
+    "Tracer",
+    "active_metrics",
+    "active_tracer",
+    "build_instrumentation",
+    "chrome_trace_events",
+    "current_span",
+    "format_span_tree",
+    "metric_counter",
+    "metric_gauge",
+    "metric_histogram",
+    "metrics_active",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "observability_active",
+    "set_active_metrics",
+    "set_active_tracer",
+    "to_chrome_trace",
+    "trace_span",
+    "traced",
+    "tracing_active",
+    "use_metrics",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+
+@dataclass
+class Instrumentation:
+    """A tracer/registry pair built from one :class:`TraceConfig`."""
+
+    config: TraceConfig
+    tracer: Tracer | None
+    metrics: MetricsRegistry | None
+
+    @classmethod
+    def enabled(
+        cls,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+        clock: str = "auto",
+    ) -> "Instrumentation":
+        """Everything on — the common programmatic entry point."""
+        return build_instrumentation(
+            TraceConfig(
+                enabled=True,
+                metrics=True,
+                clock=clock,
+                trace_path=trace_path,
+                metrics_path=metrics_path,
+            )
+        )
+
+    @contextmanager
+    def activate(self) -> Iterator["Instrumentation"]:
+        """Install tracer and registry as the active sinks, scoped."""
+        with ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(use_tracer(self.tracer))
+            if self.metrics is not None:
+                stack.enter_context(use_metrics(self.metrics))
+            yield self
+
+    # -- output ------------------------------------------------------------------
+    def tree(self) -> str:
+        """Human-readable span tree ("" when tracing was off)."""
+        return format_span_tree(self.tracer) if self.tracer else ""
+
+    def write(self) -> list[str]:
+        """Write the dumps named by the config; returns the paths written."""
+        written: list[str] = []
+        if self.tracer is not None and self.config.trace_path:
+            write_chrome_trace(
+                self.tracer, self.config.trace_path, clock=self.config.clock
+            )
+            written.append(self.config.trace_path)
+        if self.metrics is not None and self.config.metrics_path:
+            write_metrics(self.metrics, self.config.metrics_path)
+            written.append(self.config.metrics_path)
+        return written
+
+
+def build_instrumentation(config: TraceConfig) -> Instrumentation:
+    """Live tracer/registry objects for ``config`` (None where disabled)."""
+    return Instrumentation(
+        config=config,
+        tracer=Tracer() if config.enabled else None,
+        metrics=MetricsRegistry() if config.metrics else None,
+    )

@@ -1,0 +1,276 @@
+"""Exporters: Chrome trace-event JSON, tree dumps, and metrics files.
+
+The Chrome trace format (loadable in Perfetto or ``chrome://tracing``)
+is a JSON object with a ``traceEvents`` list of *complete* events::
+
+    {"name": ..., "cat": ..., "ph": "X", "ts": <us>, "dur": <us>,
+     "pid": 0, "tid": <track>, "args": {...}}
+
+Timestamps are microseconds.  Each span is placed on its **simulated**
+clock when it has a sim window (phase offsets render as the paper's
+Fig 5(d) timeline), else on wall time relative to the trace start
+(``clock="auto"``, the default); ``clock="sim"`` and ``clock="wall"``
+force one axis and drop spans without it.
+
+Because sibling spans may legitimately cover the same simulated window
+(a backend's total next to its phase decomposition), events are laid out
+onto numbered tracks such that any two events sharing a track are either
+disjoint or properly nested — exactly what the viewers render correctly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "format_span_tree",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+_CLOCKS = ("auto", "sim", "wall")
+
+
+def _check_clock(clock: str) -> None:
+    if clock not in _CLOCKS:
+        raise ValueError(f"clock must be one of {_CLOCKS}, got {clock!r}")
+
+
+def _span_window_us(
+    span: Span, clock: str, wall_epoch_s: float
+) -> tuple[float, float] | None:
+    """(ts, dur) in microseconds on the requested clock, or None."""
+    if clock in ("auto", "sim") and span.has_sim_window:
+        return span.sim_start_s * 1e6, (span.sim_duration_s or 0.0) * 1e6
+    if clock == "sim":
+        return None
+    if span.wall_start_s is None or span.wall_end_s is None:
+        return None
+    start = (span.wall_start_s - wall_epoch_s) * 1e6
+    return start, (span.wall_end_s - span.wall_start_s) * 1e6
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span attributes to JSON-friendly scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _assign_track(
+    window: tuple[float, float],
+    parent_track: int,
+    tracks: list[list[tuple[float, float]]],
+) -> int:
+    """First track >= parent's where ``window`` nests cleanly.
+
+    Two events co-exist on a track iff they are disjoint or one contains
+    the other; anything else would render as garbage in the viewers.
+    """
+    start, dur = window
+    end = start + dur
+    for tid in range(parent_track, len(tracks)):
+        ok = True
+        for other_start, other_end in tracks[tid]:
+            disjoint = end <= other_start or start >= other_end
+            contains = start <= other_start and end >= other_end
+            contained = start >= other_start and end <= other_end
+            if not (disjoint or contains or contained):
+                ok = False
+                break
+        if ok:
+            tracks[tid].append((start, end))
+            return tid
+    tracks.append([(start, end)])
+    return len(tracks) - 1
+
+
+def chrome_trace_events(
+    tracer: Tracer, clock: str = "auto"
+) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list for every exportable span of ``tracer``."""
+    _check_clock(clock)
+    wall_starts = [
+        s.wall_start_s for s in tracer.walk() if s.wall_start_s is not None
+    ]
+    wall_epoch_s = min(wall_starts, default=0.0)
+    events: list[dict[str, Any]] = []
+    tracks: list[list[tuple[float, float]]] = [[]]
+
+    def emit(span: Span, parent_track: int) -> None:
+        window = _span_window_us(span, clock, wall_epoch_s)
+        track = parent_track
+        if window is not None:
+            track = _assign_track(window, parent_track, tracks)
+            args = {k: _jsonable(v) for k, v in span.attributes.items()}
+            if span.has_sim_window and clock != "sim":
+                args.setdefault("sim_start_s", span.sim_start_s)
+                args.setdefault("sim_duration_s", span.sim_duration_s)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": window[0],
+                    "dur": window[1],
+                    "pid": 0,
+                    "tid": track,
+                    "args": args,
+                }
+            )
+        for child in span.children:
+            emit(child, track)
+
+    for root in tracer.roots:
+        emit(root, 0)
+
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro PIMnet simulator"},
+        }
+    ]
+    for tid in range(len(tracks)):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"track {tid}"},
+            }
+        )
+    return metadata + events
+
+
+def to_chrome_trace(tracer: Tracer, clock: str = "auto") -> dict[str, Any]:
+    """The full Chrome trace JSON object for ``tracer``."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, clock),
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro.observability",
+            "clock": clock,
+            "description": (
+                "PIMnet simulator trace; ts/dur are microseconds of "
+                "simulated time where a span has a sim window"
+            ),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, clock: str = "auto"
+) -> None:
+    """Write ``tracer`` as a Chrome trace-event file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer, clock), handle, indent=1)
+        handle.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Human-readable tree dump.
+# --------------------------------------------------------------------------
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds == 0:
+        return "0 s"
+    if abs(seconds) < 1e-6:
+        return f"{seconds * 1e9:.4g} ns"
+    if abs(seconds) < 1e-3:
+        return f"{seconds * 1e6:.4g} us"
+    if abs(seconds) < 1:
+        return f"{seconds * 1e3:.4g} ms"
+    return f"{seconds:.4g} s"
+
+
+def _span_line(span: Span) -> str:
+    parts = [span.name]
+    if span.has_sim_window:
+        parts.append(
+            f"sim [{_fmt_seconds(span.sim_start_s)} "
+            f"+{_fmt_seconds(span.sim_duration_s or 0.0)}]"
+        )
+    if span.wall_duration_s is not None:
+        parts.append(f"wall {_fmt_seconds(span.wall_duration_s)}")
+    shown = {
+        k: v
+        for k, v in span.attributes.items()
+        if k not in ("sim_start_s", "sim_duration_s")
+    }
+    if shown:
+        rendered = ", ".join(f"{k}={_jsonable(v)}" for k, v in shown.items())
+        parts.append(f"({rendered})")
+    return "  ".join(parts)
+
+
+def format_span_tree(tracer: Tracer) -> str:
+    """Indented text rendering of the tracer's span forest."""
+    if not tracer.roots:
+        return "(no spans recorded)"
+    lines: list[str] = []
+
+    def render(span: Span, prefix: str, is_last: bool) -> None:
+        connector = "`- " if is_last else "|- "
+        lines.append(f"{prefix}{connector}{_span_line(span)}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        for i, child in enumerate(span.children):
+            render(child, child_prefix, i == len(span.children) - 1)
+
+    for root in tracer.roots:
+        lines.append(_span_line(root))
+        for i, child in enumerate(root.children):
+            render(child, "", i == len(root.children) - 1)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Metrics dumps.
+# --------------------------------------------------------------------------
+
+def metrics_to_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """``{"metrics": {name: {kind, ...stats}}}`` — the flat JSON dump."""
+    return {"metrics": registry.snapshot()}
+
+
+_CSV_COLUMNS = (
+    "name", "kind", "value", "updates", "count", "sum", "min", "max",
+    "mean", "p50",
+)
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Flat CSV dump, one row per instrument (blank = not applicable)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_COLUMNS)
+    writer.writeheader()
+    for name, stats in registry.snapshot().items():
+        row = {"name": name}
+        row.update(
+            {k: v for k, v in stats.items() if k in _CSV_COLUMNS}
+        )
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write the metrics dump; ``.csv`` paths get CSV, anything else JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith(".csv"):
+            handle.write(metrics_to_csv(registry))
+        else:
+            json.dump(metrics_to_json(registry), handle, indent=1)
+            handle.write("\n")

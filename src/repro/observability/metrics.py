@@ -1,0 +1,293 @@
+"""Counters, gauges, and histograms for instrumented simulator runs.
+
+A :class:`MetricsRegistry` owns named instruments; instrumented library
+code reaches the active registry through the module-level helpers
+(:func:`metric_counter`, :func:`metric_gauge`, :func:`metric_histogram`).
+When no registry is installed — the default — those helpers hand back
+shared no-op instruments, so disabled metrics cost one global read and
+one method call per update.
+
+Conventions: dotted lower-case names (``pimnet.tier.bank_s``,
+``noc.flits_delivered``); counters for monotonically accumulated totals
+(bytes moved, flits delivered), gauges for last-value observations (peak
+buffer occupancy), histograms for per-event distributions (phase
+durations, collective times).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "active_metrics",
+    "metric_counter",
+    "metric_gauge",
+    "metric_histogram",
+    "metrics_active",
+    "set_active_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value", "updates")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.updates: int = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+        self.updates += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self.value, "updates": self.updates}
+
+
+class Gauge:
+    """A last-value observation."""
+
+    __slots__ = ("name", "value", "updates")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (handy for peak occupancies)."""
+        if self.value is None or value > self.value:
+            self.value = value
+        self.updates += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """A distribution of observed values (all samples retained).
+
+    Simulator runs observe at most a few thousand values per histogram,
+    so keeping the raw samples (for exact percentiles) is cheaper than
+    getting bucket boundaries wrong.
+    """
+
+    __slots__ = ("name", "samples")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.samples else None
+
+    def percentile(self, q: float) -> float | None:
+        """Exact q-th percentile (0 <= q <= 100), nearest-rank."""
+        if not 0 <= q <= 100:
+            raise ObservabilityError(f"percentile {q} outside [0, 100]")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, Any]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+        }
+
+
+class _NullInstrument:
+    """Absorbs every update; one instance per instrument kind."""
+
+    __slots__ = ()
+
+    name = "<disabled>"
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments for one instrumented run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (memoized by name) ------------------------------------
+    def counter(self, name: str) -> Counter | _NullInstrument:
+        if not self.enabled:
+            return NULL_COUNTER
+        instrument = self.counters.get(name)
+        if instrument is None:
+            self._check_name(name)
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge | _NullInstrument:
+        if not self.enabled:
+            return NULL_GAUGE
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            self._check_name(name)
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram | _NullInstrument:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            self._check_name(name)
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def _check_name(self, name: str) -> None:
+        if not name:
+            raise ObservabilityError("metric name must be non-empty")
+        existing = sum(
+            name in family
+            for family in (self.counters, self.gauges, self.histograms)
+        )
+        if existing:
+            raise ObservabilityError(
+                f"metric {name!r} already registered with a different kind"
+            )
+
+    # -- export ------------------------------------------------------------------
+    def all_instruments(self) -> list[Counter | Gauge | Histogram]:
+        instruments: list[Counter | Gauge | Histogram] = []
+        for family in (self.counters, self.gauges, self.histograms):
+            instruments.extend(family[k] for k in sorted(family))
+        return instruments
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """``{name: {"kind": ..., **stats}}`` for every instrument."""
+        return {
+            instrument.name: {"kind": instrument.kind, **instrument.snapshot()}
+            for instrument in self.all_instruments()
+        }
+
+
+# --------------------------------------------------------------------------
+# Active-registry dispatch.
+# --------------------------------------------------------------------------
+
+_ACTIVE_METRICS: MetricsRegistry | None = None
+
+
+def active_metrics() -> MetricsRegistry | None:
+    """The registry instrumented code currently reports to (None = off)."""
+    return _ACTIVE_METRICS
+
+
+def metrics_active() -> bool:
+    """Whether an enabled registry is installed (see ``tracing_active``)."""
+    registry = _ACTIVE_METRICS
+    return registry is not None and registry.enabled
+
+
+def set_active_metrics(
+    registry: MetricsRegistry | None,
+) -> MetricsRegistry | None:
+    """Install ``registry`` globally; returns the previous registry."""
+    global _ACTIVE_METRICS
+    previous = _ACTIVE_METRICS
+    _ACTIVE_METRICS = registry
+    return previous
+
+
+@contextmanager
+def use_metrics(
+    registry: MetricsRegistry | None,
+) -> Iterator[MetricsRegistry | None]:
+    """Scoped :func:`set_active_metrics`; restores the previous registry."""
+    previous = set_active_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_active_metrics(previous)
+
+
+def metric_counter(name: str) -> Counter | _NullInstrument:
+    registry = _ACTIVE_METRICS
+    if registry is None:
+        return NULL_COUNTER
+    return registry.counter(name)
+
+
+def metric_gauge(name: str) -> Gauge | _NullInstrument:
+    registry = _ACTIVE_METRICS
+    if registry is None:
+        return NULL_GAUGE
+    return registry.gauge(name)
+
+
+def metric_histogram(name: str) -> Histogram | _NullInstrument:
+    registry = _ACTIVE_METRICS
+    if registry is None:
+        return NULL_HISTOGRAM
+    return registry.histogram(name)

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,6 +13,13 @@ class TestList:
         out = capsys.readouterr().out
         for key in ("fig02", "fig10", "fig13", "table04", "ablations"):
             assert key in out
+
+    def test_json_mode_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = {e["id"] for e in payload["experiments"]}
+        assert {"fig02", "fig10", "table04"} <= ids
+        assert all("summary" in e for e in payload["experiments"])
 
 
 class TestRun:
@@ -36,6 +45,94 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "256 DPUs" in out
         assert "inter-rank 16.80 GB/s" in out
+
+    def test_json_mode_reports_machine_and_backends(self, capsys):
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"]["num_dpus"] == 256
+        assert "P" in payload["backends"]
+        assert payload["tiers"]["inter_rank_bytes_per_s"] > 0
+
+
+class TestTrace:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "allreduce", "--payload", "1MB",
+                     "--out", str(out_path), "--quiet"]) == 0
+        trace = json.loads(out_path.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert "bank-RS" in names and "bank-AG" in names
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_trace_spans_match_timeline_offsets(self, tmp_path):
+        from repro.core.timeline import allreduce_timeline
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "allreduce", "--payload", "1MB",
+                     "--out", str(out_path), "--quiet"]) == 0
+        trace = json.loads(out_path.read_text())
+        timeline = allreduce_timeline(1 << 20)
+        by_name = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        for entry in timeline.entries:
+            event = by_name[f"{entry.domain}-{entry.phase}"]
+            assert event["ts"] == pytest.approx(entry.start_s * 1e6)
+            assert event["dur"] == pytest.approx(entry.duration_s * 1e6)
+
+    def test_tree_dump_on_stdout(self, capsys):
+        assert main(["trace", "allreduce", "--payload", "1MB"]) == 0
+        out = capsys.readouterr().out
+        assert "trace/all_reduce" in out
+        assert "bank-RS" in out
+
+    def test_fallback_backend_gets_component_spans(self, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "alltoall", "--backend", "D",
+                     "--payload", "32KB", "--out", str(out_path),
+                     "--quiet"]) == 0
+        names = {
+            e["name"]
+            for e in json.loads(out_path.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "inter-chip" in names or "inter-rank" in names
+
+    def test_metrics_dump(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.csv"
+        assert main(["trace", "allreduce", "--payload", "1MB",
+                     "--metrics", str(metrics_path), "--quiet"]) == 0
+        text = metrics_path.read_text()
+        assert text.startswith("name,kind,")
+        assert "collective.payload_bytes" in text
+
+    def test_unknown_collective_fails(self, capsys):
+        assert main(["trace", "bogus"]) == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+    def test_bad_payload_fails(self, capsys):
+        assert main(["trace", "allreduce", "--payload", "12XB"]) == 2
+        assert "size" in capsys.readouterr().err
+
+    def test_unsupported_backend_request_fails_cleanly(self, capsys):
+        assert main(["trace", "allreduce", "--backend", "N",
+                     "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert "trace failed" in err and "backend=N" in err
+
+
+class TestRunInstrumented:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.json"
+        metrics_path = tmp_path / "run-metrics.json"
+        assert main(["run", "fig11", "--trace", str(trace_path),
+                     "--metrics", str(metrics_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "experiment/fig11" in names
+        metrics = json.loads(metrics_path.read_text())["metrics"]
+        assert "collective.requests" in metrics
 
 
 class TestParser:

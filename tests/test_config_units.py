@@ -60,3 +60,29 @@ class TestFormatting:
         assert "us" in units.fmt_seconds(5e-6)
         assert "ms" in units.fmt_seconds(5e-3)
         assert units.fmt_seconds(2.0).endswith(" s")
+
+
+class TestParseBytes:
+    def test_plain_and_binary_suffixes(self):
+        assert units.parse_bytes("4096") == 4096
+        assert units.parse_bytes("512B") == 512
+        assert units.parse_bytes("32KB") == 32 * units.KIB
+        assert units.parse_bytes("1MB") == units.MIB
+        assert units.parse_bytes("2GiB") == 2 * units.GIB
+
+    def test_case_and_whitespace_insensitive(self):
+        assert units.parse_bytes(" 1 mb ") == units.MIB
+        assert units.parse_bytes("32kib") == 32 * units.KIB
+
+    def test_fractional_values_allowed_if_whole_bytes(self):
+        assert units.parse_bytes("0.5KB") == 512
+
+    def test_default_trace_payload_divides_the_dpu_grid(self):
+        # `repro trace --payload 1MB` must satisfy the Algorithm 1
+        # divisibility requirement for the 256-DPU default machine.
+        assert units.parse_bytes("1MB") % (8 * 256) == 0
+
+    def test_rejects_bad_inputs(self):
+        for bad in ("", "12XB", "abc", "-4KB", "0", "0.3B"):
+            with pytest.raises(ValueError):
+                units.parse_bytes(bad)

@@ -1,0 +1,166 @@
+"""Exporters: Chrome trace-event JSON, tree dumps, metrics files."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    format_span_tree,
+    metrics_to_csv,
+    metrics_to_json,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+def _sim_tracer() -> Tracer:
+    """A small forest with sim windows: root covering two phases."""
+    tracer = Tracer()
+    with tracer.span("collective", sim_start_s=0.0, sim_end_s=3e-3,
+                     backend="P") as root:
+        tracer.record("bank-RS", 0.0, 1e-3, category="phase")
+        tracer.record("chip-RS", 1e-3, 3e-3, category="phase")
+    assert root.has_sim_window
+    return tracer
+
+
+def _x_events(events):
+    return [e for e in events if e["ph"] == "X"]
+
+
+class TestChromeTraceEvents:
+    def test_sim_windows_become_microsecond_events(self):
+        events = chrome_trace_events(_sim_tracer())
+        complete = {e["name"]: e for e in _x_events(events)}
+        assert set(complete) == {"collective", "bank-RS", "chip-RS"}
+        assert complete["bank-RS"]["ts"] == pytest.approx(0.0)
+        assert complete["bank-RS"]["dur"] == pytest.approx(1000.0)
+        assert complete["chip-RS"]["ts"] == pytest.approx(1000.0)
+        assert complete["chip-RS"]["dur"] == pytest.approx(2000.0)
+
+    def test_every_event_has_the_required_keys(self):
+        for event in _x_events(chrome_trace_events(_sim_tracer())):
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_metadata_names_process_and_tracks(self):
+        events = chrome_trace_events(_sim_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_nested_children_share_the_parent_track(self):
+        events = _x_events(chrome_trace_events(_sim_tracer()))
+        tids = {e["name"]: e["tid"] for e in events}
+        # Phases nest inside the root's window, so one track suffices.
+        assert tids["bank-RS"] == tids["collective"]
+        assert tids["chip-RS"] == tids["collective"]
+
+    def test_overlapping_siblings_split_onto_tracks(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 2.0)
+        tracer.record("b", 1.0, 3.0)  # overlaps a but neither nests
+        events = _x_events(chrome_trace_events(tracer))
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["a"] != tids["b"]
+
+    def test_sim_clock_drops_wall_only_spans(self):
+        tracer = Tracer()
+        with tracer.span("wall-only"):
+            pass
+        tracer.record("simmed", 0.0, 1.0)
+        names = {e["name"] for e in _x_events(
+            chrome_trace_events(tracer, clock="sim"))}
+        assert names == {"simmed"}
+
+    def test_wall_clock_is_relative_to_trace_start(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        events = _x_events(chrome_trace_events(tracer, clock="wall"))
+        assert min(e["ts"] for e in events) == pytest.approx(0.0)
+        by_name = {e["name"]: e["ts"] for e in events}
+        assert by_name["second"] >= by_name["first"]
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ValueError, match="clock"):
+            chrome_trace_events(Tracer(), clock="lamport")
+
+    def test_attributes_survive_as_jsonable_args(self):
+        tracer = Tracer()
+        tracer.record("s", 0.0, 1.0, tier="bank", steps=7,
+                      obj=object())
+        event = _x_events(chrome_trace_events(tracer))[0]
+        assert event["args"]["tier"] == "bank"
+        assert event["args"]["steps"] == 7
+        assert isinstance(event["args"]["obj"], str)
+
+
+class TestChromeTraceFile:
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sim_tracer(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == to_chrome_trace(_sim_tracer())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["metadata"]["tool"] == "repro.observability"
+        assert isinstance(loaded["traceEvents"], list)
+
+
+class TestSpanTree:
+    def test_tree_renders_names_and_sim_windows(self):
+        text = format_span_tree(_sim_tracer())
+        assert "collective" in text
+        assert "|- bank-RS" in text
+        assert "`- chip-RS" in text
+        assert "sim [" in text
+        assert "backend=P" in text
+
+    def test_empty_tracer(self):
+        assert format_span_tree(Tracer()) == "(no spans recorded)"
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("noc.flits").inc(128)
+    reg.gauge("noc.peak").max(6)
+    h = reg.histogram("phase_s")
+    h.observe(1.0)
+    h.observe(3.0)
+    return reg
+
+
+class TestMetricsDumps:
+    def test_json_dump_shape(self):
+        dump = metrics_to_json(_sample_registry())
+        metrics = dump["metrics"]
+        assert metrics["noc.flits"] == {"kind": "counter", "value": 128.0,
+                                        "updates": 1}
+        assert metrics["phase_s"]["mean"] == pytest.approx(2.0)
+
+    def test_csv_dump_parses_back(self):
+        rows = list(csv.DictReader(io.StringIO(
+            metrics_to_csv(_sample_registry()))))
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["noc.flits"]["kind"] == "counter"
+        assert float(by_name["noc.flits"]["value"]) == 128.0
+        assert by_name["phase_s"]["value"] == ""  # n/a for histograms
+        assert float(by_name["phase_s"]["count"]) == 2
+
+    def test_write_metrics_picks_format_from_suffix(self, tmp_path):
+        reg = _sample_registry()
+        csv_path = tmp_path / "m.csv"
+        json_path = tmp_path / "m.json"
+        write_metrics(reg, str(csv_path))
+        write_metrics(reg, str(json_path))
+        assert csv_path.read_text().startswith("name,kind,")
+        assert json.loads(json_path.read_text()) == metrics_to_json(reg)
