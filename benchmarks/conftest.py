@@ -14,6 +14,21 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runner-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the runner-sweep benchmarks "
+        "(mirrors `repro run --jobs N`)",
+    )
+
+
+@pytest.fixture
+def runner_jobs(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--runner-jobs")
+
+
 @pytest.fixture
 def report(capsys):
     """Print experiment tables to the real terminal."""

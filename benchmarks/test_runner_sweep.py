@@ -1,0 +1,57 @@
+"""Full-registry sweep through the parallel runner, cold vs warm cache.
+
+The cold pass times every registered experiment end to end (this is the
+number the ``--runner-jobs`` flag shrinks); the warm pass times the same
+sweep served entirely from the content-addressed cache and proves the
+replayed tables are identical.
+"""
+
+from __future__ import annotations
+
+from repro.config import RunnerConfig, pimnet_sim_system
+from repro.runner import REGISTRY, run_experiments
+
+from .conftest import run_once
+
+
+def _config(runner_jobs, tmp_path, **kwargs):
+    return RunnerConfig(
+        jobs=runner_jobs, cache_dir=str(tmp_path / "cache"), **kwargs
+    )
+
+
+def _summary(tag, runs):
+    points = sum(r.points for r in runs)
+    hits = sum(r.cache_hits for r in runs)
+    elapsed = sum(r.elapsed_s for r in runs)
+    return (
+        f"runner sweep [{tag}]: {len(runs)} experiments, {points} points, "
+        f"{hits} cache hit(s), {elapsed:.2f}s"
+    )
+
+
+def test_cold_sweep(benchmark, report, runner_jobs, tmp_path):
+    machine = pimnet_sim_system()
+    runner = _config(runner_jobs, tmp_path)
+    runs = run_once(
+        benchmark, run_experiments, REGISTRY.ids(), machine, runner
+    )
+    report(_summary("cold", runs))
+    assert len(runs) == len(REGISTRY.ids())
+    assert all(r.cache_hits == 0 for r in runs)
+    assert all(r.cache_misses == r.points for r in runs)
+
+
+def test_warm_sweep_replays_identically(
+    benchmark, report, runner_jobs, tmp_path
+):
+    machine = pimnet_sim_system()
+    runner = _config(runner_jobs, tmp_path)
+    cold = run_experiments(REGISTRY.ids(), machine, runner)  # seed, untimed
+    warm = run_once(
+        benchmark, run_experiments, REGISTRY.ids(), machine, runner
+    )
+    report(_summary("warm", warm))
+    assert all(r.cache_hits == r.points for r in warm)
+    assert all(r.cache_misses == 0 for r in warm)
+    assert [r.tables for r in warm] == [r.tables for r in cold]

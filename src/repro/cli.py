@@ -5,8 +5,11 @@ Usage::
     python -m repro list                 # enumerate experiments
     python -m repro list --json          # ... as machine-readable JSON
     python -m repro run fig10            # regenerate one figure/table
-    python -m repro run all              # everything (fig13 is slowest)
+    python -m repro run all --jobs 4     # everything, 4 worker processes
+    python -m repro run all --no-cache   # recompute, bypass the cache
     python -m repro run fig12 --trace t.json --metrics m.csv
+    python -m repro cache stats [--json] # what the result cache holds
+    python -m repro cache clear          # drop all cached point results
     python -m repro info [--json]        # machine/backend summary
     python -m repro trace allreduce --payload 1MB --out trace.json
 """
@@ -22,14 +25,12 @@ from . import __version__
 from .collectives.backend import registry
 from .collectives.patterns import Collective, CollectiveRequest
 from .config.presets import pimnet_sim_system
+from .config.runner import RunnerConfig
 from .config.trace import TraceConfig
 from .config.units import parse_bytes
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .observability import Instrumentation, build_instrumentation
-
-
-#: Experiments whose run() needs the run_both treatment.
-_TWO_PANEL = {"fig03", "fig12"}
+from .runner.cache import DEFAULT_CACHE_DIR, ResultCache
 
 #: Compact aliases accepted by ``repro trace`` on top of the enum values.
 _COLLECTIVE_ALIASES = {
@@ -101,7 +102,18 @@ def _write_outputs(instrumentation: Instrumentation) -> int:
     return 0
 
 
+def _runner_config(args: argparse.Namespace) -> RunnerConfig:
+    return RunnerConfig(
+        jobs=args.jobs,
+        cache_enabled=args.cache,
+        cache_dir=args.cache_dir,
+        point_timeout_s=args.timeout,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from .runner import run_experiment
+
     modules = _experiment_modules()
     keys = sorted(modules) if args.experiment == "all" else [args.experiment]
     unknown = [k for k in keys if k not in modules]
@@ -112,19 +124,59 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        runner = _runner_config(args)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.clear_cache:
+        removed = ResultCache(runner.cache_dir).clear()
+        print(f"cleared {removed} cached result(s)", file=sys.stderr)
     instrumentation = _run_instrumentation(args)
-    with instrumentation.activate():
-        for key in keys:
-            module = modules[key]
-            with _experiment_span(instrumentation, key):
-                if key in _TWO_PANEL:
-                    for result in module.run_both():
-                        print(module.format_table(result))
-                        print()
-                else:
-                    print(module.format_table(module.run()))
-                    print()
+    hits = misses = 0
+    try:
+        with instrumentation.activate():
+            for key in keys:
+                with _experiment_span(instrumentation, key):
+                    run = run_experiment(key, runner=runner)
+                print(run.format())
+                print()
+                hits += run.cache_hits
+                misses += run.cache_misses
+    except ReproError as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 1
+    if runner.cache_enabled:
+        print(f"cache: {hits} hit(s), {misses} miss(es)")
     return _write_outputs(instrumentation)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s)")
+        return 0
+    stats = cache.stats()
+    if getattr(args, "json", False):
+        print(json.dumps(stats, indent=1))
+        return 0
+    print(f"cache root: {stats['root']}")
+    if not stats["experiments"]:
+        print("  (empty)")
+        return 0
+    for name, info in stats["experiments"].items():
+        print(
+            f"  {name:18s} {info['entries']:4d} entr"
+            f"{'y' if info['entries'] == 1 else 'ies'}, "
+            f"{info['bytes']} bytes"
+        )
+    print(
+        f"total: {stats['entries']} entr"
+        f"{'y' if stats['entries'] == 1 else 'ies'}, "
+        f"{stats['bytes']} bytes"
+    )
+    return 0
 
 
 def _experiment_span(instrumentation: Instrumentation, key: str):
@@ -301,6 +353,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one experiment (or 'all')")
     p_run.add_argument("experiment", help="experiment id, e.g. fig10")
     p_run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep points (default: 1, serial)",
+    )
+    p_run.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse/store point results in the on-disk cache "
+        "(default: on; --no-cache recomputes everything)",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_run.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop all cached results before running",
+    )
+    p_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point timeout when running in parallel",
+    )
+    p_run.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -313,6 +398,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write collected metrics to PATH (.csv for CSV, else JSON)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="show cached entries per experiment"
+    )
+    p_cache_stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_cache_stats.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_cache_stats.set_defaults(func=cmd_cache)
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="remove every cached result"
+    )
+    p_cache_clear.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_cache_clear.set_defaults(func=cmd_cache)
 
     p_info = sub.add_parser("info", help="show machine/backend summary")
     p_info.add_argument(

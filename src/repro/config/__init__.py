@@ -28,6 +28,7 @@ from .presets import (
     small_test_system,
     upmem_server,
 )
+from .runner import RunnerConfig
 from .system import DpuConfig, HostConfig, PimSystemConfig
 from .trace import TRACE_CLOCKS, TraceConfig
 
@@ -52,6 +53,7 @@ __all__ = [
     "DpuConfig",
     "HostConfig",
     "PimSystemConfig",
+    "RunnerConfig",
     "TRACE_CLOCKS",
     "TraceConfig",
 ]

@@ -1,0 +1,42 @@
+"""Execution policy for the parallel experiment runner.
+
+Like :class:`TraceConfig`, this is plain data kept with the rest of the
+configuration so the CLI and library callers can thread it around
+without importing the runner machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Default on-disk cache location (kept in sync with repro.runner.cache).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How to execute an experiment's sweep points.
+
+    ``jobs`` is the process fan-out (1 = in-process serial execution);
+    ``point_timeout_s`` bounds the wait for any single point when
+    running in parallel (``None`` = no bound; ignored on the serial
+    path, which cannot preempt a running point).
+    """
+
+    jobs: int = 1
+    cache_enabled: bool = True
+    cache_dir: str = DEFAULT_CACHE_DIR
+    point_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.point_timeout_s is not None and self.point_timeout_s <= 0:
+            raise ConfigurationError(
+                f"point_timeout_s must be positive, got "
+                f"{self.point_timeout_s}"
+            )
+        if not self.cache_dir:
+            raise ConfigurationError("cache_dir must be non-empty")

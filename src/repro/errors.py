@@ -67,3 +67,27 @@ class IsaError(ReproError):
 
 class ObservabilityError(ReproError):
     """The tracing or metrics layer was used inconsistently."""
+
+
+class RunnerError(ReproError):
+    """The parallel experiment runner was misconfigured or misused."""
+
+
+class PointExecutionError(RunnerError):
+    """A sweep point failed or timed out.
+
+    Carries the point's ``experiment_id`` and ``params`` so a failure
+    deep inside a fanned-out sweep still names the exact configuration
+    that hit it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        experiment_id: str = "",
+        params: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.experiment_id = experiment_id
+        self.params = dict(params) if params else {}

@@ -28,7 +28,11 @@ from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig
 from ..config.units import transfer_time
 from ..core.multichannel import multichannel_collective
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import ExperimentTable, default_machine
+
+DEFAULT_PAYLOAD_BYTES = 32 * 1024
 
 
 @dataclass(frozen=True)
@@ -144,17 +148,33 @@ def interchannel_bridge_ablation(
     )
 
 
+#: Ablation id -> function, in the report's row order.
+ABLATIONS = {
+    "hierarchy": hierarchy_ablation,
+    "ring_configuration": ring_configuration_ablation,
+    "bus_broadcast": bus_broadcast_ablation,
+    "interchannel_bridge": interchannel_bridge_ablation,
+}
+
+
+def _point(
+    machine: MachineConfig, ablation: str, payload_bytes: int
+) -> dict:
+    result = ABLATIONS[ablation](machine, payload_bytes)
+    return {
+        "name": result.name,
+        "pimnet_s": result.pimnet_s,
+        "alternative_s": result.alternative_s,
+        "description": result.description,
+    }
+
+
 def run(machine: MachineConfig | None = None) -> list[AblationResult]:
     machine = machine or default_machine()
-    return [
-        hierarchy_ablation(machine),
-        ring_configuration_ablation(machine),
-        bus_broadcast_ablation(machine),
-        interchannel_bridge_ablation(machine),
-    ]
+    return [fn(machine) for fn in ABLATIONS.values()]
 
 
-def format_table(results: list[AblationResult]) -> str:
+def build_tables(results: list[AblationResult]) -> tuple[ExperimentTable, ...]:
     rows = tuple(
         (
             r.name,
@@ -164,9 +184,40 @@ def format_table(results: list[AblationResult]) -> str:
         )
         for r in results
     )
-    return ExperimentTable(
-        "Ablations",
-        "PIMnet design choices vs alternatives (32 KB AllReduce)",
-        ("design choice", "PIMnet us", "alternative us", "benefit"),
-        rows,
-    ).format()
+    return (
+        ExperimentTable(
+            "Ablations",
+            "PIMnet design choices vs alternatives (32 KB AllReduce)",
+            ("design choice", "PIMnet us", "alternative us", "benefit"),
+            rows,
+        ),
+    )
+
+
+def format_table(results: list[AblationResult]) -> str:
+    return "\n\n".join(t.format() for t in build_tables(results))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(
+            i, {"ablation": key, "payload_bytes": DEFAULT_PAYLOAD_BYTES}
+        )
+        for i, key in enumerate(ABLATIONS)
+    )
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict, ...]
+) -> tuple[ExperimentTable, ...]:
+    results = [AblationResult(**v) for v in values]
+    return build_tables(results)
+
+
+SPEC = register_experiment(
+    experiment_id="ablations",
+    title="Ablations: PIMnet design choices",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from ..collectives.host_baseline import HostBaselineBackend
 from ..config.presets import MachineConfig
 from ..memory.channel import DdrChannel
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import ExperimentTable, default_machine
 
 TRANSFER_SIZES = tuple(4 * 1024 * (4 ** e) for e in range(7))  # 4KiB..16MiB
@@ -30,34 +32,46 @@ class CharacterizationResult:
     transposed_gather_gbs: float
 
 
-def run(machine: MachineConfig | None = None) -> CharacterizationResult:
-    machine = machine or default_machine()
+def _point(machine: MachineConfig, size: int) -> dict[str, float]:
+    """Effective GB/s per direction at one transfer size."""
     channel = DdrChannel(machine.host_links, machine.host)
     ranks = machine.system.ranks_per_channel
-    gather, scatter, broadcast = [], [], []
-    for size in TRANSFER_SIZES:
-        gather.append(
-            size / channel.pim_to_cpu(size, ranks).time_s / 1e9
-        )
-        scatter.append(
-            size / channel.cpu_to_pim(size, ranks).time_s / 1e9
-        )
-        broadcast.append(
+    return {
+        "gather": size / channel.pim_to_cpu(size, ranks).time_s / 1e9,
+        "scatter": size / channel.cpu_to_pim(size, ranks).time_s / 1e9,
+        "broadcast": (
             size / channel.cpu_to_pim_broadcast(size, ranks).time_s / 1e9
-        )
+        ),
+    }
+
+
+def _result_from_points(
+    machine: MachineConfig, values: tuple[dict[str, float], ...]
+) -> CharacterizationResult:
     peak = machine.host_links.pim_to_cpu_bytes_per_s / 1e9
-    transposed = peak * HostBaselineBackend.transpose_efficiency
     return CharacterizationResult(
         sizes=TRANSFER_SIZES,
-        gather_gbs=tuple(gather),
-        scatter_gbs=tuple(scatter),
-        broadcast_gbs=tuple(broadcast),
+        gather_gbs=tuple(v["gather"] for v in values),
+        scatter_gbs=tuple(v["scatter"] for v in values),
+        broadcast_gbs=tuple(v["broadcast"] for v in values),
         peak_gather_gbs=peak,
-        transposed_gather_gbs=transposed,
+        transposed_gather_gbs=(
+            peak * HostBaselineBackend.transpose_efficiency
+        ),
     )
 
 
-def format_table(result: CharacterizationResult) -> str:
+def run(machine: MachineConfig | None = None) -> CharacterizationResult:
+    machine = machine or default_machine()
+    return _result_from_points(
+        machine,
+        tuple(_point(machine, size) for size in TRANSFER_SIZES),
+    )
+
+
+def build_tables(
+    result: CharacterizationResult,
+) -> tuple[ExperimentTable, ...]:
     rows = tuple(
         (
             f"{size // 1024} KiB",
@@ -72,14 +86,42 @@ def format_table(result: CharacterizationResult) -> str:
             result.broadcast_gbs,
         )
     )
-    return ExperimentTable(
-        "Host-link characterization",
-        "Effective host<->PIM bandwidth vs transfer size (GB/s)",
-        ("size", "PIM->CPU", "CPU->PIM", "CPU->PIM bcast"),
-        rows,
-        notes=(
-            f"asymptotes: {result.peak_gather_gbs:.2f} GB/s bulk gather "
-            f"(paper: 4.74), {result.transposed_gather_gbs:.2f} GB/s for "
-            "per-DPU collective buffers (chip transposition)"
+    return (
+        ExperimentTable(
+            "Host-link characterization",
+            "Effective host<->PIM bandwidth vs transfer size (GB/s)",
+            ("size", "PIM->CPU", "CPU->PIM", "CPU->PIM bcast"),
+            rows,
+            notes=(
+                f"asymptotes: {result.peak_gather_gbs:.2f} GB/s bulk gather "
+                f"(paper: 4.74), {result.transposed_gather_gbs:.2f} GB/s for "
+                "per-DPU collective buffers (chip transposition)"
+            ),
         ),
-    ).format()
+    )
+
+
+def format_table(result: CharacterizationResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(i, {"size": size})
+        for i, size in enumerate(TRANSFER_SIZES)
+    )
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict[str, float], ...]
+) -> tuple[ExperimentTable, ...]:
+    return build_tables(_result_from_points(machine, values))
+
+
+SPEC = register_experiment(
+    experiment_id="characterization",
+    title="Host-link characterization (Sec III)",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -20,6 +20,16 @@ class ExperimentTable:
     rows: tuple[tuple, ...]
     notes: str = ""
 
+    def __post_init__(self) -> None:
+        # Validate eagerly: a malformed table should fail where it is
+        # built, not later when (if ever) someone formats it.
+        for i, row in enumerate(self.rows):
+            if len(row) != len(self.columns):
+                raise ReproError(
+                    f"{self.experiment_id}: row {i} width {len(row)} != "
+                    f"header width {len(self.columns)}"
+                )
+
     def format(self) -> str:
         widths = [
             max(
@@ -36,11 +46,6 @@ class ExperimentTable:
         )
         lines.append("  ".join("-" * w for w in widths))
         for row in self.rows:
-            if len(row) != len(self.columns):
-                raise ReproError(
-                    f"row width {len(row)} != header width "
-                    f"{len(self.columns)}"
-                )
             lines.append(
                 "  ".join(
                     _cell(v).ljust(widths[i]) for i, v in enumerate(row)

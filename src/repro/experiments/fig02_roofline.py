@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from ..analysis.roofline import RooflineModel, RooflineSeries
 from ..config.presets import MachineConfig
+from ..runner.registry import register_monolithic
 from .common import ExperimentTable, default_machine
 
 
@@ -32,7 +33,7 @@ def run(machine: MachineConfig | None = None) -> RooflineResult:
     )
 
 
-def format_table(result: RooflineResult) -> str:
+def build_tables(result: RooflineResult) -> tuple[ExperimentTable, ...]:
     intensities = [p.intensity for p in result.comm[0].points]
     columns = ("comm intensity (ops/B)",) + tuple(
         s.backend for s in result.comm
@@ -70,4 +71,13 @@ def format_table(result: RooflineResult) -> str:
         + tuple(s.backend for s in result.classic),
         tuple(rows_a),
     )
-    return table_a.format() + "\n\n" + table_b.format()
+    return (table_a, table_b)
+
+
+def format_table(result: RooflineResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+SPEC = register_monolithic(
+    "fig02", "Fig 2: roofline models", run, build_tables
+)

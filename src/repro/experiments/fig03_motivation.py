@@ -15,6 +15,8 @@ import numpy as np
 from ..collectives.backend import registry
 from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import (
     ExperimentTable,
     SCALING_DPU_COUNTS,
@@ -23,6 +25,8 @@ from .common import (
 )
 
 BACKENDS = ("B", "S", "P")
+PANEL_PATTERNS = (Collective.ALL_REDUCE, Collective.ALL_TO_ALL)
+DEFAULT_PAYLOAD_BYTES = 32 * 1024
 
 
 @dataclass(frozen=True)
@@ -45,22 +49,36 @@ class ScalabilityResult:
         return out
 
 
+def _point(
+    machine: MachineConfig,
+    pattern: str,
+    num_dpus: int,
+    payload_bytes: int,
+    backends: list[str],
+) -> dict[str, float]:
+    """Collective time per backend at one (pattern, scale) sweep point."""
+    m = scaled_machine(machine, num_dpus)
+    request = CollectiveRequest(
+        Collective(pattern), payload_bytes, dtype=np.dtype(np.int64)
+    )
+    return {
+        key: registry.create(key, m).timing(request).total_s
+        for key in backends
+    }
+
+
 def run(
     pattern: Collective = Collective.ALL_REDUCE,
     machine: MachineConfig | None = None,
-    payload_bytes: int = 32 * 1024,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
     backends: tuple[str, ...] = BACKENDS,
 ) -> ScalabilityResult:
     machine = machine or default_machine()
     times: dict[str, list[float]] = {k: [] for k in backends}
     for n in SCALING_DPU_COUNTS:
-        m = scaled_machine(machine, n)
-        request = CollectiveRequest(
-            pattern, payload_bytes, dtype=np.dtype(np.int64)
-        )
+        at_n = _point(machine, pattern.value, n, payload_bytes, list(backends))
         for key in backends:
-            backend = registry.create(key, m)
-            times[key].append(backend.timing(request).total_s)
+            times[key].append(at_n[key])
     return ScalabilityResult(
         pattern=pattern,
         dpu_counts=SCALING_DPU_COUNTS,
@@ -79,7 +97,7 @@ def run_both(
     )
 
 
-def format_table(result: ScalabilityResult) -> str:
+def build_tables(result: ScalabilityResult) -> tuple[ExperimentTable, ...]:
     rel = result.normalized_throughput()
     rows = []
     for i, n in enumerate(result.dpu_counts):
@@ -88,11 +106,63 @@ def format_table(result: ScalabilityResult) -> str:
             + tuple(f"{rel[k][i]:.2f}" for k in result.times_s)
         )
     panel = "a" if result.pattern is Collective.ALL_REDUCE else "b"
-    return ExperimentTable(
-        f"Fig 3{panel}",
-        f"{result.pattern.value} weak-scaling throughput "
-        "(normalized to Baseline @ 8 DPUs)",
-        ("DPUs",) + tuple(result.times_s),
-        tuple(rows),
-        notes=f"per-DPU payload {result.payload_bytes // 1024} KB",
-    ).format()
+    return (
+        ExperimentTable(
+            f"Fig 3{panel}",
+            f"{result.pattern.value} weak-scaling throughput "
+            "(normalized to Baseline @ 8 DPUs)",
+            ("DPUs",) + tuple(result.times_s),
+            tuple(rows),
+            notes=f"per-DPU payload {result.payload_bytes // 1024} KB",
+        ),
+    )
+
+
+def format_table(result: ScalabilityResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    points = []
+    for pattern in PANEL_PATTERNS:
+        for n in SCALING_DPU_COUNTS:
+            points.append(
+                SweepPoint(
+                    len(points),
+                    {
+                        "pattern": pattern.value,
+                        "num_dpus": n,
+                        "payload_bytes": DEFAULT_PAYLOAD_BYTES,
+                        "backends": list(BACKENDS),
+                    },
+                )
+            )
+    return tuple(points)
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict[str, float], ...]
+) -> tuple[ExperimentTable, ...]:
+    tables = []
+    per_panel = len(SCALING_DPU_COUNTS)
+    for i, pattern in enumerate(PANEL_PATTERNS):
+        chunk = values[i * per_panel:(i + 1) * per_panel]
+        result = ScalabilityResult(
+            pattern=pattern,
+            dpu_counts=SCALING_DPU_COUNTS,
+            payload_bytes=DEFAULT_PAYLOAD_BYTES,
+            times_s={
+                key: tuple(at_n[key] for at_n in chunk) for key in BACKENDS
+            },
+        )
+        tables.extend(build_tables(result))
+    return tuple(tables)
+
+
+SPEC = register_experiment(
+    experiment_id="fig03",
+    title="Fig 3: collective scalability motivation",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

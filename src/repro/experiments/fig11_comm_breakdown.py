@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from ..analysis.breakdown import comm_percentages
 from ..collectives.result import CommBreakdown
 from ..config.presets import MachineConfig
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from ..workloads import compare_backends, paper_workloads
 from .common import ExperimentTable, default_machine
 
@@ -35,30 +37,41 @@ class CommBreakdownResult:
     entries: tuple[CommBreakdownEntry, ...]
 
 
+def _point(machine: MachineConfig, workload: str) -> dict:
+    """One Fig 11 row: PIMnet breakdown plus comm-only speedup."""
+    results = compare_backends(
+        paper_workloads()[workload], machine, ["N", "D", "P"]
+    )
+    reference = "N" if workload in A2A_WORKLOADS and "N" in results else "D"
+    pimnet = results["P"]
+    ref = results[reference]
+    return {
+        "pimnet_comm": pimnet.comm.as_dict(),
+        "reference_backend": reference,
+        "comm_speedup": ref.comm_s / pimnet.comm_s
+        if pimnet.comm_s > 0
+        else float("inf"),
+    }
+
+
+def _entry(workload: str, value: dict) -> CommBreakdownEntry:
+    return CommBreakdownEntry(
+        workload=workload,
+        pimnet=CommBreakdown(**value["pimnet_comm"]),
+        reference_backend=value["reference_backend"],
+        comm_speedup=value["comm_speedup"],
+    )
+
+
 def run(machine: MachineConfig | None = None) -> CommBreakdownResult:
     machine = machine or default_machine()
-    entries = []
-    for name, workload in paper_workloads().items():
-        results = compare_backends(
-            workload, machine, ["N", "D", "P"]
-        )
-        reference = "N" if name in A2A_WORKLOADS and "N" in results else "D"
-        pimnet = results["P"]
-        ref = results[reference]
-        entries.append(
-            CommBreakdownEntry(
-                workload=name,
-                pimnet=pimnet.comm,
-                reference_backend=reference,
-                comm_speedup=ref.comm_s / pimnet.comm_s
-                if pimnet.comm_s > 0
-                else float("inf"),
-            )
-        )
+    entries = [
+        _entry(name, _point(machine, name)) for name in paper_workloads()
+    ]
     return CommBreakdownResult(entries=tuple(entries))
 
 
-def format_table(result: CommBreakdownResult) -> str:
+def build_tables(result: CommBreakdownResult) -> tuple[ExperimentTable, ...]:
     rows = []
     for e in result.entries:
         parts = comm_percentages(e.pimnet)
@@ -74,12 +87,44 @@ def format_table(result: CommBreakdownResult) -> str:
                 f"{e.comm_speedup:.1f}x vs {e.reference_backend}",
             )
         )
-    return ExperimentTable(
-        "Fig 11",
-        "PIMnet communication breakdown and comm-only speedup",
-        (
-            "workload", "comm us", "bank", "chip", "rank", "sync", "mem",
-            "speedup",
+    return (
+        ExperimentTable(
+            "Fig 11",
+            "PIMnet communication breakdown and comm-only speedup",
+            (
+                "workload", "comm us", "bank", "chip", "rank", "sync", "mem",
+                "speedup",
+            ),
+            tuple(rows),
         ),
-        tuple(rows),
-    ).format()
+    )
+
+
+def format_table(result: CommBreakdownResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(i, {"workload": name})
+        for i, name in enumerate(paper_workloads())
+    )
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict, ...]
+) -> tuple[ExperimentTable, ...]:
+    entries = tuple(
+        _entry(name, value)
+        for name, value in zip(paper_workloads(), values)
+    )
+    return build_tables(CommBreakdownResult(entries=entries))
+
+
+SPEC = register_experiment(
+    experiment_id="fig11",
+    title="Fig 11: communication time breakdown",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -15,12 +15,24 @@ import numpy as np
 from ..collectives.backend import registry
 from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import (
     ExperimentTable,
     SCALING_DPU_COUNTS,
     default_machine,
     scaled_machine,
 )
+
+PANEL_PATTERNS = (Collective.ALL_REDUCE, Collective.ALL_TO_ALL)
+DEFAULT_PAYLOAD_BYTES = 32 * 1024
+
+
+def _backends_for(pattern: Collective) -> list[str]:
+    backends = ["S", "D", "P"]
+    if pattern is Collective.ALL_TO_ALL:
+        backends.insert(1, "N")
+    return backends
 
 
 @dataclass(frozen=True)
@@ -32,25 +44,37 @@ class CollectiveScalingResult:
     speedups: dict[str, tuple[float, ...]]
 
 
+def _point(
+    machine: MachineConfig,
+    pattern: str,
+    num_dpus: int,
+    payload_bytes: int,
+    backends: list[str],
+) -> dict[str, float]:
+    """Speedup over the baseline per backend at one (pattern, scale)."""
+    m = scaled_machine(machine, num_dpus)
+    request = CollectiveRequest(
+        Collective(pattern), payload_bytes, dtype=np.dtype(np.int64)
+    )
+    base = registry.create("B", m).timing(request).total_s
+    return {
+        key: base / registry.create(key, m).timing(request).total_s
+        for key in backends
+    }
+
+
 def run(
     pattern: Collective = Collective.ALL_REDUCE,
     machine: MachineConfig | None = None,
-    payload_bytes: int = 32 * 1024,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
 ) -> CollectiveScalingResult:
     machine = machine or default_machine()
-    backends = ["S", "D", "P"]
-    if pattern is Collective.ALL_TO_ALL:
-        backends.insert(1, "N")
+    backends = _backends_for(pattern)
     speedups: dict[str, list[float]] = {k: [] for k in backends}
     for n in SCALING_DPU_COUNTS:
-        m = scaled_machine(machine, n)
-        request = CollectiveRequest(
-            pattern, payload_bytes, dtype=np.dtype(np.int64)
-        )
-        base = registry.create("B", m).timing(request).total_s
+        at_n = _point(machine, pattern.value, n, payload_bytes, backends)
         for key in backends:
-            t = registry.create(key, m).timing(request).total_s
-            speedups[key].append(base / t)
+            speedups[key].append(at_n[key])
     return CollectiveScalingResult(
         pattern=pattern,
         dpu_counts=SCALING_DPU_COUNTS,
@@ -68,7 +92,9 @@ def run_both(
     )
 
 
-def format_table(result: CollectiveScalingResult) -> str:
+def build_tables(
+    result: CollectiveScalingResult,
+) -> tuple[ExperimentTable, ...]:
     rows = []
     for i, n in enumerate(result.dpu_counts):
         rows.append(
@@ -76,10 +102,63 @@ def format_table(result: CollectiveScalingResult) -> str:
             + tuple(f"{result.speedups[k][i]:.2f}" for k in result.speedups)
         )
     panel = "a" if result.pattern is Collective.ALL_REDUCE else "b"
-    return ExperimentTable(
-        f"Fig 12{panel}",
-        f"{result.pattern.value} speedup over Baseline at each DPU count",
-        ("DPUs",) + tuple(result.speedups),
-        tuple(rows),
-        notes=f"weak scaling, {result.payload_bytes // 1024} KB per DPU",
-    ).format()
+    return (
+        ExperimentTable(
+            f"Fig 12{panel}",
+            f"{result.pattern.value} speedup over Baseline at each DPU count",
+            ("DPUs",) + tuple(result.speedups),
+            tuple(rows),
+            notes=f"weak scaling, {result.payload_bytes // 1024} KB per DPU",
+        ),
+    )
+
+
+def format_table(result: CollectiveScalingResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    points = []
+    for pattern in PANEL_PATTERNS:
+        for n in SCALING_DPU_COUNTS:
+            points.append(
+                SweepPoint(
+                    len(points),
+                    {
+                        "pattern": pattern.value,
+                        "num_dpus": n,
+                        "payload_bytes": DEFAULT_PAYLOAD_BYTES,
+                        "backends": _backends_for(pattern),
+                    },
+                )
+            )
+    return tuple(points)
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict[str, float], ...]
+) -> tuple[ExperimentTable, ...]:
+    tables = []
+    per_panel = len(SCALING_DPU_COUNTS)
+    for i, pattern in enumerate(PANEL_PATTERNS):
+        chunk = values[i * per_panel:(i + 1) * per_panel]
+        backends = _backends_for(pattern)
+        result = CollectiveScalingResult(
+            pattern=pattern,
+            dpu_counts=SCALING_DPU_COUNTS,
+            payload_bytes=DEFAULT_PAYLOAD_BYTES,
+            speedups={
+                key: tuple(at_n[key] for at_n in chunk) for key in backends
+            },
+        )
+        tables.extend(build_tables(result))
+    return tuple(tables)
+
+
+SPEC = register_experiment(
+    experiment_id="fig12",
+    title="Fig 12: collective scalability of all implementations",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

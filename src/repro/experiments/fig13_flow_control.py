@@ -17,12 +17,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config.network import PimnetNetworkConfig
+from ..config.presets import MachineConfig
 from ..config.system import PimSystemConfig
 from ..core.schedule import Shape, allreduce_schedule, alltoall_schedule
 from ..core.sync import SyncTree
 from ..noc.network import NocNetwork
 from ..noc.workload import run_flow_control_comparison
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import ExperimentTable
+
+DEFAULTS = {
+    "banks": 4,
+    "chips": 4,
+    "ranks": 1,
+    "elements_per_dpu": 256,
+    "mean_compute_cycles": 2000.0,
+    "seed": 7,
+}
+PATTERNS = ("allreduce", "alltoall")
 
 
 @dataclass(frozen=True)
@@ -40,14 +53,18 @@ class FlowControlResult:
         return 100.0 * (1.0 - data["scheduled"] / data["credit"])
 
 
-def run(
-    banks: int = 4,
-    chips: int = 4,
-    ranks: int = 1,
-    elements_per_dpu: int = 256,
-    mean_compute_cycles: float = 2000.0,
-    seed: int = 7,
-) -> FlowControlResult:
+def _point(
+    machine: MachineConfig,
+    pattern: str,
+    banks: int,
+    chips: int,
+    ranks: int,
+    elements_per_dpu: int,
+    mean_compute_cycles: float,
+    seed: int,
+) -> dict[str, int]:
+    """One cycle-level comparison run; ``machine`` is not used (the NoC
+    simulator is parameterized by shape, not the analytic machine)."""
     shape = Shape(banks=banks, chips=chips, ranks=ranks)
     network = NocNetwork(shape)
     sync = SyncTree(
@@ -58,29 +75,45 @@ def run(
         ),
         PimnetNetworkConfig(),
     )
-    ar = run_flow_control_comparison(
-        allreduce_schedule(shape, elements_per_dpu),
+    builder = (
+        allreduce_schedule if pattern == "allreduce" else alltoall_schedule
+    )
+    return run_flow_control_comparison(
+        builder(shape, elements_per_dpu),
         network,
         mean_compute_cycles=mean_compute_cycles,
         seed=seed,
         sync_tree=sync,
     )
-    a2a = run_flow_control_comparison(
-        alltoall_schedule(shape, elements_per_dpu),
-        network,
+
+
+def run(
+    banks: int = 4,
+    chips: int = 4,
+    ranks: int = 1,
+    elements_per_dpu: int = 256,
+    mean_compute_cycles: float = 2000.0,
+    seed: int = 7,
+) -> FlowControlResult:
+    params = dict(
+        banks=banks,
+        chips=chips,
+        ranks=ranks,
+        elements_per_dpu=elements_per_dpu,
         mean_compute_cycles=mean_compute_cycles,
         seed=seed,
-        sync_tree=sync,
     )
+    ar = _point(None, "allreduce", **params)
+    a2a = _point(None, "alltoall", **params)
     return FlowControlResult(
-        shape=shape,
+        shape=Shape(banks=banks, chips=chips, ranks=ranks),
         elements_per_dpu=elements_per_dpu,
         allreduce=ar,
         alltoall=a2a,
     )
 
 
-def format_table(result: FlowControlResult) -> str:
+def build_tables(result: FlowControlResult) -> tuple[ExperimentTable, ...]:
     rows = []
     for label, data in (
         ("AllReduce", result.allreduce),
@@ -98,18 +131,56 @@ def format_table(result: FlowControlResult) -> str:
             )
         )
     s = result.shape
-    return ExperimentTable(
-        "Fig 13",
-        "Credit-based vs PIM-controlled scheduling (NoC cycles)",
-        (
-            "collective", "credit cyc", "scheduled cyc",
-            "sched. time reduction", "conflicts (credit)",
-            "conflicts (sched)",
+    return (
+        ExperimentTable(
+            "Fig 13",
+            "Credit-based vs PIM-controlled scheduling (NoC cycles)",
+            (
+                "collective", "credit cyc", "scheduled cyc",
+                "sched. time reduction", "conflicts (credit)",
+                "conflicts (sched)",
+            ),
+            tuple(rows),
+            notes=(
+                f"{s.banks}x{s.chips}x{s.ranks} DPUs, "
+                f"{result.elements_per_dpu} elems/DPU; paper: AR within 1%, "
+                "A2A 18.7% reduction"
+            ),
         ),
-        tuple(rows),
-        notes=(
-            f"{s.banks}x{s.chips}x{s.ranks} DPUs, "
-            f"{result.elements_per_dpu} elems/DPU; paper: AR within 1%, "
-            "A2A 18.7% reduction"
+    )
+
+
+def format_table(result: FlowControlResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(i, {"pattern": pattern, **DEFAULTS})
+        for i, pattern in enumerate(PATTERNS)
+    )
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict[str, int], ...]
+) -> tuple[ExperimentTable, ...]:
+    result = FlowControlResult(
+        shape=Shape(
+            banks=DEFAULTS["banks"],
+            chips=DEFAULTS["chips"],
+            ranks=DEFAULTS["ranks"],
         ),
-    ).format()
+        elements_per_dpu=DEFAULTS["elements_per_dpu"],
+        allreduce=values[0],
+        alltoall=values[1],
+    )
+    return build_tables(result)
+
+
+SPEC = register_experiment(
+    experiment_id="fig13",
+    title="Fig 13: flow-control comparison (cycle-level NoC)",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -14,10 +14,13 @@ import numpy as np
 from ..collectives.backend import registry
 from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import ExperimentTable, default_machine
 
 INTER_BANK_SWEEP_GBS = (0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
 GLOBAL_SCALE_SWEEP = (0.25, 0.5, 1.0, 2.0)
+DEFAULT_PAYLOAD_BYTES = 32 * 1024
 
 
 @dataclass(frozen=True)
@@ -33,32 +36,51 @@ class BandwidthSweepResult:
         return min(row[2] for row in self.inter_bank)
 
 
-def run(
-    machine: MachineConfig | None = None,
-    payload_bytes: int = 32 * 1024,
-) -> BandwidthSweepResult:
-    machine = machine or default_machine()
+def _point(
+    machine: MachineConfig,
+    sweep: str,
+    value: float,
+    payload_bytes: int,
+) -> float:
+    """AllReduce time at one sweep setting.
+
+    ``sweep`` selects the knob: ``dimm_link`` (the reference backend,
+    ``value`` ignored), ``inter_bank`` (channel bandwidth in GB/s), or
+    ``global`` (inter-chip/inter-rank bandwidth scale).
+    """
     request = CollectiveRequest(
         Collective.ALL_REDUCE, payload_bytes, dtype=np.dtype(np.int64)
     )
-    dimm_link = registry.create("D", machine).timing(request).total_s
+    if sweep == "dimm_link":
+        return registry.create("D", machine).timing(request).total_s
+    if sweep == "inter_bank":
+        m = replace(
+            machine, pimnet=machine.pimnet.with_inter_bank_bandwidth(value)
+        )
+    elif sweep == "global":
+        m = replace(
+            machine,
+            pimnet=machine.pimnet.with_global_bandwidth_scale(value),
+        )
+    else:
+        raise ValueError(f"unknown sweep {sweep!r}")
+    return registry.create("P", m).timing(request).total_s
 
+
+def run(
+    machine: MachineConfig | None = None,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+) -> BandwidthSweepResult:
+    machine = machine or default_machine()
+    dimm_link = _point(machine, "dimm_link", 0.0, payload_bytes)
     inter_bank = []
     for gbs in INTER_BANK_SWEEP_GBS:
-        m = replace(
-            machine, pimnet=machine.pimnet.with_inter_bank_bandwidth(gbs)
-        )
-        t = registry.create("P", m).timing(request).total_s
+        t = _point(machine, "inter_bank", gbs, payload_bytes)
         inter_bank.append((gbs, t, dimm_link / t))
-
     global_bw = []
     for scale in GLOBAL_SCALE_SWEEP:
-        m = replace(
-            machine, pimnet=machine.pimnet.with_global_bandwidth_scale(scale)
-        )
-        t = registry.create("P", m).timing(request).total_s
+        t = _point(machine, "global", scale, payload_bytes)
         global_bw.append((scale, t, dimm_link / t))
-
     return BandwidthSweepResult(
         payload_bytes=payload_bytes,
         dimm_link_time_s=dimm_link,
@@ -67,7 +89,7 @@ def run(
     )
 
 
-def format_table(result: BandwidthSweepResult) -> str:
+def build_tables(result: BandwidthSweepResult) -> tuple[ExperimentTable, ...]:
     rows_a = tuple(
         (f"{gbs:.1f}", f"{t * 1e6:.1f}", f"{s:.1f}x")
         for gbs, t, s in result.inter_bank
@@ -93,4 +115,75 @@ def format_table(result: BandwidthSweepResult) -> str:
         rows_b,
         notes="inter-bank fixed at 0.7 GB/s",
     )
-    return table_a.format() + "\n\n" + table_b.format()
+    return (table_a, table_b)
+
+
+def format_table(result: BandwidthSweepResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    points = [
+        SweepPoint(
+            0,
+            {
+                "sweep": "dimm_link",
+                "value": 0.0,
+                "payload_bytes": DEFAULT_PAYLOAD_BYTES,
+            },
+        )
+    ]
+    for gbs in INTER_BANK_SWEEP_GBS:
+        points.append(
+            SweepPoint(
+                len(points),
+                {
+                    "sweep": "inter_bank",
+                    "value": gbs,
+                    "payload_bytes": DEFAULT_PAYLOAD_BYTES,
+                },
+            )
+        )
+    for scale in GLOBAL_SCALE_SWEEP:
+        points.append(
+            SweepPoint(
+                len(points),
+                {
+                    "sweep": "global",
+                    "value": scale,
+                    "payload_bytes": DEFAULT_PAYLOAD_BYTES,
+                },
+            )
+        )
+    return tuple(points)
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[float, ...]
+) -> tuple[ExperimentTable, ...]:
+    dimm_link = values[0]
+    nb = len(INTER_BANK_SWEEP_GBS)
+    inter_bank = tuple(
+        (gbs, t, dimm_link / t)
+        for gbs, t in zip(INTER_BANK_SWEEP_GBS, values[1:1 + nb])
+    )
+    global_bw = tuple(
+        (scale, t, dimm_link / t)
+        for scale, t in zip(GLOBAL_SCALE_SWEEP, values[1 + nb:])
+    )
+    result = BandwidthSweepResult(
+        payload_bytes=DEFAULT_PAYLOAD_BYTES,
+        dimm_link_time_s=dimm_link,
+        inter_bank=inter_bank,
+        global_bw=global_bw,
+    )
+    return build_tables(result)
+
+
+SPEC = register_experiment(
+    experiment_id="fig14",
+    title="Fig 14: channel-bandwidth sweeps",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -13,10 +13,17 @@ from dataclasses import dataclass, replace
 
 from ..config.compute import ALT_PIM_PROFILES
 from ..config.presets import MachineConfig
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from ..workloads import MlpWorkload, NttWorkload, compare_backends
 from .common import ExperimentTable, default_machine
 
 PROFILES = ("UPMEM", "HBM-PIM", "GDDR6-AiM")
+WORKLOAD_NAMES = ("MLP", "NTT")
+
+
+def _workloads():
+    return {"MLP": MlpWorkload(), "NTT": NttWorkload()}
 
 
 @dataclass(frozen=True)
@@ -30,22 +37,24 @@ class AltPimResult:
         return row["GDDR6-AiM"] / row["UPMEM"]
 
 
+def _point(machine: MachineConfig, workload: str, profile: str) -> float:
+    """PIMnet speedup over Baseline at one (workload, compute profile)."""
+    m = replace(machine, compute=ALT_PIM_PROFILES[profile])
+    results = compare_backends(_workloads()[workload], m, ["B", "P"])
+    return results["P"].speedup_over(results["B"])
+
+
 def run(machine: MachineConfig | None = None) -> AltPimResult:
     machine = machine or default_machine()
-    workloads = {"MLP": MlpWorkload(), "NTT": NttWorkload()}
     speedups: dict[str, dict[str, float]] = {}
-    for name, workload in workloads.items():
-        speedups[name] = {}
-        for profile_name in PROFILES:
-            m = replace(machine, compute=ALT_PIM_PROFILES[profile_name])
-            results = compare_backends(workload, m, ["B", "P"])
-            speedups[name][profile_name] = results["P"].speedup_over(
-                results["B"]
-            )
+    for name in WORKLOAD_NAMES:
+        speedups[name] = {
+            profile: _point(machine, name, profile) for profile in PROFILES
+        }
     return AltPimResult(speedups=speedups)
 
 
-def format_table(result: AltPimResult) -> str:
+def build_tables(result: AltPimResult) -> tuple[ExperimentTable, ...]:
     rows = []
     for name, row in result.speedups.items():
         rows.append(
@@ -53,10 +62,48 @@ def format_table(result: AltPimResult) -> str:
             + tuple(f"{row[p]:.2f}x" for p in PROFILES)
             + (f"{result.gain(name):.1f}x",)
         )
-    return ExperimentTable(
-        "Fig 15",
-        "PIMnet speedup over Baseline with alternative PIM compute",
-        ("workload",) + PROFILES + ("benefit growth",),
-        tuple(rows),
-        notes="paper: MLP benefit grows to ~40x with GDDR6-AiM compute",
-    ).format()
+    return (
+        ExperimentTable(
+            "Fig 15",
+            "PIMnet speedup over Baseline with alternative PIM compute",
+            ("workload",) + PROFILES + ("benefit growth",),
+            tuple(rows),
+            notes="paper: MLP benefit grows to ~40x with GDDR6-AiM compute",
+        ),
+    )
+
+
+def format_table(result: AltPimResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    points = []
+    for name in WORKLOAD_NAMES:
+        for profile in PROFILES:
+            points.append(
+                SweepPoint(
+                    len(points), {"workload": name, "profile": profile}
+                )
+            )
+    return tuple(points)
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[float, ...]
+) -> tuple[ExperimentTable, ...]:
+    it = iter(values)
+    speedups = {
+        name: {profile: next(it) for profile in PROFILES}
+        for name in WORKLOAD_NAMES
+    }
+    return build_tables(AltPimResult(speedups=speedups))
+
+
+SPEC = register_experiment(
+    experiment_id="fig15",
+    title="Fig 15: alternative PIM compute profiles",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -15,6 +15,8 @@ from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig
 from ..config.units import transfer_time
 from ..errors import ReproError
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from ..workloads import emb_synth
 from ..workloads.base import CommPhase, ExecutionEngine
 from .common import ExperimentTable, default_machine
@@ -43,8 +45,8 @@ def _workload_payload_bytes(machine: MachineConfig) -> int:
     raise ReproError("EMB workload has no communication phase")
 
 
-def run(machine: MachineConfig | None = None) -> MultiChannelResult:
-    machine = machine or default_machine()
+def _point(machine: MachineConfig, channels: int) -> dict[str, float]:
+    """Per-batch time for Baseline and PIMnet at one channel count."""
     workload = emb_synth()
     payload = _workload_payload_bytes(machine)
     n = machine.system.banks_per_channel
@@ -54,23 +56,32 @@ def run(machine: MachineConfig | None = None) -> MultiChannelResult:
     base_b = ExecutionEngine(machine, "B").run(workload).total_s
     base_p = ExecutionEngine(machine, "P").run(workload).total_s
 
+    # Baseline: per-channel gathers run on parallel buses; the host
+    # reduction must chew through every channel's N partials.
+    extra_host_reduce = (channels - 1) * n * payload / reduce_bw
+    # PIMnet: per-channel reduction on the fabric; the host only
+    # combines one payload per channel.
+    cross = (
+        transfer_time(payload, links.pim_to_cpu_bytes_per_s)
+        + channels * payload / reduce_bw
+        + transfer_time(
+            payload, links.cpu_to_pim_broadcast_bytes_per_s
+        )
+    ) if channels > 1 else 0.0
+    return {
+        "baseline": base_b + extra_host_reduce,
+        "pimnet": base_p + cross,
+    }
+
+
+def run(machine: MachineConfig | None = None) -> MultiChannelResult:
+    machine = machine or default_machine()
     baseline_times = []
     pimnet_times = []
     for k in CHANNEL_COUNTS:
-        # Baseline: per-channel gathers run on parallel buses; the host
-        # reduction must chew through every channel's N partials.
-        extra_host_reduce = (k - 1) * n * payload / reduce_bw
-        baseline_times.append(base_b + extra_host_reduce)
-        # PIMnet: per-channel reduction on the fabric; the host only
-        # combines one payload per channel.
-        cross = (
-            transfer_time(payload, links.pim_to_cpu_bytes_per_s)
-            + k * payload / reduce_bw
-            + transfer_time(
-                payload, links.cpu_to_pim_broadcast_bytes_per_s
-            )
-        ) if k > 1 else 0.0
-        pimnet_times.append(base_p + cross)
+        at_k = _point(machine, k)
+        baseline_times.append(at_k["baseline"])
+        pimnet_times.append(at_k["pimnet"])
     return MultiChannelResult(
         channel_counts=CHANNEL_COUNTS,
         baseline_s=tuple(baseline_times),
@@ -78,7 +89,7 @@ def run(machine: MachineConfig | None = None) -> MultiChannelResult:
     )
 
 
-def format_table(result: MultiChannelResult) -> str:
+def build_tables(result: MultiChannelResult) -> tuple[ExperimentTable, ...]:
     rows = tuple(
         (
             k,
@@ -90,10 +101,43 @@ def format_table(result: MultiChannelResult) -> str:
             result.channel_counts, result.baseline_s, result.pimnet_s
         )
     )
-    return ExperimentTable(
-        "Fig 16",
-        "EMB_Synth with memory-channel scaling (per-batch time, ms)",
-        ("channels", "Baseline ms", "PIMnet ms", "speedup"),
-        rows,
-        notes="paper: PIMnet speedup grows with channel count",
-    ).format()
+    return (
+        ExperimentTable(
+            "Fig 16",
+            "EMB_Synth with memory-channel scaling (per-batch time, ms)",
+            ("channels", "Baseline ms", "PIMnet ms", "speedup"),
+            rows,
+            notes="paper: PIMnet speedup grows with channel count",
+        ),
+    )
+
+
+def format_table(result: MultiChannelResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(i, {"channels": k})
+        for i, k in enumerate(CHANNEL_COUNTS)
+    )
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict[str, float], ...]
+) -> tuple[ExperimentTable, ...]:
+    result = MultiChannelResult(
+        channel_counts=CHANNEL_COUNTS,
+        baseline_s=tuple(v["baseline"] for v in values),
+        pimnet_s=tuple(v["pimnet"] for v in values),
+    )
+    return build_tables(result)
+
+
+SPEC = register_experiment(
+    experiment_id="fig16",
+    title="Fig 16: memory-channel scaling",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..analysis.multitenancy import MultiTenancyResult, run_multitenancy
 from ..config.presets import MachineConfig
+from ..runner.registry import register_monolithic
 from ..workloads import CcWorkload, emb_synth
 from .common import ExperimentTable, default_machine
 
@@ -14,7 +15,7 @@ def run(machine: MachineConfig | None = None) -> MultiTenancyResult:
     return run_multitenancy(CcWorkload(), emb_synth(), machine)
 
 
-def format_table(result: MultiTenancyResult) -> str:
+def build_tables(result: MultiTenancyResult) -> tuple[ExperimentTable, ...]:
     rows = []
     for label, pair in (("Baseline", result.baseline), ("PIMnet", result.pimnet)):
         for tenant in pair:
@@ -27,13 +28,25 @@ def format_table(result: MultiTenancyResult) -> str:
                     f"{tenant.interference_slowdown:.2f}x",
                 )
             )
-    return ExperimentTable(
-        "Fig 17",
-        "Spatially mapped tenants: interference slowdown",
-        ("substrate", "tenant", "alone ms", "co-located ms", "slowdown"),
-        tuple(rows),
-        notes=(
-            f"PIMnet isolation benefit: {result.isolation_benefit():.2f}x "
-            "lower interference (geomean)"
+    return (
+        ExperimentTable(
+            "Fig 17",
+            "Spatially mapped tenants: interference slowdown",
+            ("substrate", "tenant", "alone ms", "co-located ms", "slowdown"),
+            tuple(rows),
+            notes=(
+                f"PIMnet isolation benefit: "
+                f"{result.isolation_benefit():.2f}x "
+                "lower interference (geomean)"
+            ),
         ),
-    ).format()
+    )
+
+
+def format_table(result: MultiTenancyResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+SPEC = register_monolithic(
+    "fig17", "Fig 17: multi-tenancy isolation", run, build_tables
+)

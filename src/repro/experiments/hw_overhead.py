@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..analysis.hw_overhead import HwOverheadReport, hardware_overhead_report
+from ..runner.registry import register_monolithic
 from .common import ExperimentTable
 
 
@@ -10,7 +11,7 @@ def run() -> HwOverheadReport:
     return hardware_overhead_report()
 
 
-def format_table(report: HwOverheadReport) -> str:
+def build_tables(report: HwOverheadReport) -> tuple[ExperimentTable, ...]:
     rows = (
         (
             "PIMnet stop",
@@ -44,13 +45,27 @@ def format_table(report: HwOverheadReport) -> str:
             f"{report.sync_latency_ns:.1f} ns (paper ~15 ns)",
         ),
     )
-    return ExperimentTable(
-        "HW overhead (Sec VI-B)",
-        "Analytic area/power model (45 nm, 3 metal layers)",
-        ("block", "area mm^2", "power mW", "comparison"),
-        rows,
-        notes=(
-            "paper: +0.09% bank area, +1.6% bank power, >60x smaller than "
-            "a NoC router"
+    return (
+        ExperimentTable(
+            "HW overhead (Sec VI-B)",
+            "Analytic area/power model (45 nm, 3 metal layers)",
+            ("block", "area mm^2", "power mW", "comparison"),
+            rows,
+            notes=(
+                "paper: +0.09% bank area, +1.6% bank power, >60x smaller "
+                "than a NoC router"
+            ),
         ),
-    ).format()
+    )
+
+
+def format_table(report: HwOverheadReport) -> str:
+    return "\n\n".join(t.format() for t in build_tables(report))
+
+
+SPEC = register_monolithic(
+    "hw_overhead",
+    "Sec VI-B: hardware overhead",
+    lambda machine: run(),
+    build_tables,
+)

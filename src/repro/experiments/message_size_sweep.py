@@ -17,10 +17,13 @@ import numpy as np
 from ..collectives.backend import registry
 from ..collectives.patterns import Collective, CollectiveRequest
 from ..config.presets import MachineConfig
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import ExperimentTable, default_machine
 
 PAYLOADS = tuple(256 * (4 ** e) for e in range(7))  # 256 B .. 1 MiB
 BACKENDS = ("B", "S", "D", "P")
+PANEL_PATTERNS = (Collective.ALL_REDUCE, Collective.ALL_TO_ALL)
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,19 @@ class SizeSweepResult:
         return self.payloads[index], series[index]
 
 
+def _point(
+    machine: MachineConfig, pattern: str, payload_bytes: int
+) -> dict[str, float]:
+    """Collective time per backend for one (pattern, payload) cell."""
+    request = CollectiveRequest(
+        Collective(pattern), payload_bytes, dtype=np.dtype(np.int64)
+    )
+    return {
+        key: registry.create(key, machine).timing(request).total_s
+        for key in BACKENDS
+    }
+
+
 def run(
     pattern: Collective = Collective.ALL_REDUCE,
     machine: MachineConfig | None = None,
@@ -51,13 +67,9 @@ def run(
     machine = machine or default_machine()
     times: dict[str, list[float]] = {k: [] for k in BACKENDS}
     for payload in PAYLOADS:
-        request = CollectiveRequest(
-            pattern, payload, dtype=np.dtype(np.int64)
-        )
+        at_p = _point(machine, pattern.value, payload)
         for key in BACKENDS:
-            times[key].append(
-                registry.create(key, machine).timing(request).total_s
-            )
+            times[key].append(at_p[key])
     return SizeSweepResult(
         pattern=pattern,
         payloads=PAYLOADS,
@@ -74,7 +86,7 @@ def run_both(
     )
 
 
-def format_table(result: SizeSweepResult) -> str:
+def build_tables(result: SizeSweepResult) -> tuple[ExperimentTable, ...]:
     speedups = result.speedup_series()
     rows = []
     for i, payload in enumerate(result.payloads):
@@ -89,15 +101,61 @@ def format_table(result: SizeSweepResult) -> str:
             + tuple(f"{speedups[k][i]:.1f}x" for k in ("S", "P"))
         )
     peak_payload, peak = result.pimnet_speedup_peak()
-    return ExperimentTable(
-        f"Size sweep ({result.pattern.value})",
-        "Collective time (us) vs per-DPU payload, 256 DPUs",
-        ("payload",)
-        + tuple(f"{k} us" for k in BACKENDS)
-        + ("S speedup", "P speedup"),
-        tuple(rows),
-        notes=(
-            f"PIMnet gain peaks at {peak_payload} B/DPU: {peak:.1f}x over "
-            "baseline"
+    return (
+        ExperimentTable(
+            f"Size sweep ({result.pattern.value})",
+            "Collective time (us) vs per-DPU payload, 256 DPUs",
+            ("payload",)
+            + tuple(f"{k} us" for k in BACKENDS)
+            + ("S speedup", "P speedup"),
+            tuple(rows),
+            notes=(
+                f"PIMnet gain peaks at {peak_payload} B/DPU: {peak:.1f}x "
+                "over baseline"
+            ),
         ),
-    ).format()
+    )
+
+
+def format_table(result: SizeSweepResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    points = []
+    for pattern in PANEL_PATTERNS:
+        for payload in PAYLOADS:
+            points.append(
+                SweepPoint(
+                    len(points),
+                    {"pattern": pattern.value, "payload_bytes": payload},
+                )
+            )
+    return tuple(points)
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict[str, float], ...]
+) -> tuple[ExperimentTable, ...]:
+    tables = []
+    per_panel = len(PAYLOADS)
+    for i, pattern in enumerate(PANEL_PATTERNS):
+        chunk = values[i * per_panel:(i + 1) * per_panel]
+        result = SizeSweepResult(
+            pattern=pattern,
+            payloads=PAYLOADS,
+            times_s={
+                key: tuple(at_p[key] for at_p in chunk) for key in BACKENDS
+            },
+        )
+        tables.extend(build_tables(result))
+    return tuple(tables)
+
+
+SPEC = register_experiment(
+    experiment_id="size_sweep",
+    title="Size sweep: message-size sensitivity",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -15,14 +15,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config.presets import MachineConfig
 from ..core.schedule import Shape
 from ..errors import SimulationError
 from ..noc.flit import Message
 from ..noc.network import NocNetwork
 from ..noc.simulator import NocSimulator
+from ..runner.registry import register_experiment
+from ..runner.spec import SweepPoint
 from .common import ExperimentTable
 
 INJECTION_RATES = (0.001, 0.005, 0.02, 0.1, 0.5)
+DEFAULTS = {
+    "banks": 2,
+    "chips": 2,
+    "ranks": 2,
+    "messages_per_dpu": 10,
+    "flits_per_message": 4,
+    "seed": 5,
+}
 
 
 @dataclass(frozen=True)
@@ -35,6 +46,60 @@ class LoadLatencyResult:
     def saturation_visible(self) -> bool:
         """Latency at the top rate well above the low-load latency."""
         return self.mean_latency_cycles[-1] > 2 * self.mean_latency_cycles[0]
+
+
+def _traffic_pattern(
+    shape: Shape, messages_per_dpu: int, seed: int
+) -> list[tuple[int, int]]:
+    """The fixed uniform-random (src, dst) pattern reused at every rate."""
+    rng = np.random.default_rng(seed)
+    n = shape.num_dpus
+    pattern = []
+    for src in range(n):
+        for _ in range(messages_per_dpu):
+            dst = int(rng.integers(0, n - 1))
+            if dst >= src:
+                dst += 1
+            pattern.append((src, dst))
+    return pattern
+
+
+def _point(
+    machine: MachineConfig,
+    rate: float,
+    banks: int,
+    chips: int,
+    ranks: int,
+    messages_per_dpu: int,
+    flits_per_message: int,
+    seed: int,
+) -> dict[str, float | int]:
+    """One injection rate in the cycle-level simulator; ``machine`` is
+    not used (the NoC simulator is parameterized by shape)."""
+    if rate <= 0:
+        raise SimulationError("injection rate must be positive")
+    shape = Shape(banks, chips, ranks)
+    network = NocNetwork(shape)
+    pattern = _traffic_pattern(shape, messages_per_dpu, seed)
+    n = shape.num_dpus
+    interval = max(1, math.ceil(100 / (rate * 100)))
+    messages = []
+    for msg_id, (src, dst) in enumerate(pattern):
+        slot = msg_id // n
+        messages.append(
+            Message(
+                msg_id=msg_id,
+                src=src,
+                dst=dst,
+                num_flits=flits_per_message,
+                ready_cycle=slot * interval,
+            )
+        )
+    stats = NocSimulator(network, messages).run()
+    return {
+        "mean_latency": float(stats.mean_message_latency),
+        "cycles": int(stats.cycles),
+    }
 
 
 def run(
@@ -50,49 +115,30 @@ def run(
     ``rate`` is messages per DPU per 100 cycles; arrival times are
     deterministic per seed so the sweep is reproducible.
     """
-    shape = Shape(banks, chips, ranks)
-    network = NocNetwork(shape)
-    rng = np.random.default_rng(seed)
-    n = shape.num_dpus
-    # one fixed random traffic pattern reused at every rate
-    pattern = []
-    for src in range(n):
-        for _ in range(messages_per_dpu):
-            dst = int(rng.integers(0, n - 1))
-            if dst >= src:
-                dst += 1
-            pattern.append((src, dst))
-
     latencies = []
     completions = []
     for rate in INJECTION_RATES:
-        if rate <= 0:
-            raise SimulationError("injection rate must be positive")
-        interval = max(1, math.ceil(100 / (rate * 100)))
-        messages = []
-        for msg_id, (src, dst) in enumerate(pattern):
-            slot = msg_id // n
-            messages.append(
-                Message(
-                    msg_id=msg_id,
-                    src=src,
-                    dst=dst,
-                    num_flits=flits_per_message,
-                    ready_cycle=slot * interval,
-                )
-            )
-        stats = NocSimulator(network, messages).run()
-        latencies.append(stats.mean_message_latency)
-        completions.append(stats.cycles)
+        at_rate = _point(
+            None,
+            rate,
+            banks=banks,
+            chips=chips,
+            ranks=ranks,
+            messages_per_dpu=messages_per_dpu,
+            flits_per_message=flits_per_message,
+            seed=seed,
+        )
+        latencies.append(at_rate["mean_latency"])
+        completions.append(at_rate["cycles"])
     return LoadLatencyResult(
-        shape=shape,
+        shape=Shape(banks, chips, ranks),
         rates=INJECTION_RATES,
         mean_latency_cycles=tuple(latencies),
         completion_cycles=tuple(completions),
     )
 
 
-def format_table(result: LoadLatencyResult) -> str:
+def build_tables(result: LoadLatencyResult) -> tuple[ExperimentTable, ...]:
     rows = tuple(
         (f"{rate:.3f}", f"{latency:.1f}", cycles)
         for rate, latency, cycles in zip(
@@ -102,13 +148,49 @@ def format_table(result: LoadLatencyResult) -> str:
         )
     )
     s = result.shape
-    return ExperimentTable(
-        "NoC load-latency",
-        "Uniform-random traffic under credit-based flow control",
-        ("msgs/DPU/100cyc", "mean latency (cyc)", "completion (cyc)"),
-        rows,
-        notes=(
-            f"{s.banks}x{s.chips}x{s.ranks} DPUs; latency climbs toward "
-            "saturation — the contention regime static scheduling avoids"
+    return (
+        ExperimentTable(
+            "NoC load-latency",
+            "Uniform-random traffic under credit-based flow control",
+            ("msgs/DPU/100cyc", "mean latency (cyc)", "completion (cyc)"),
+            rows,
+            notes=(
+                f"{s.banks}x{s.chips}x{s.ranks} DPUs; latency climbs toward "
+                "saturation — the contention regime static scheduling avoids"
+            ),
         ),
-    ).format()
+    )
+
+
+def format_table(result: LoadLatencyResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+def _points(machine: MachineConfig) -> tuple[SweepPoint, ...]:
+    return tuple(
+        SweepPoint(i, {"rate": rate, **DEFAULTS})
+        for i, rate in enumerate(INJECTION_RATES)
+    )
+
+
+def _assemble(
+    machine: MachineConfig, values: tuple[dict, ...]
+) -> tuple[ExperimentTable, ...]:
+    result = LoadLatencyResult(
+        shape=Shape(
+            DEFAULTS["banks"], DEFAULTS["chips"], DEFAULTS["ranks"]
+        ),
+        rates=INJECTION_RATES,
+        mean_latency_cycles=tuple(v["mean_latency"] for v in values),
+        completion_cycles=tuple(v["cycles"] for v in values),
+    )
+    return build_tables(result)
+
+
+SPEC = register_experiment(
+    experiment_id="noc_load_latency",
+    title="NoC load-latency study (cycle-level)",
+    points=_points,
+    point_fn=_point,
+    assemble=_assemble,
+)

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from ..config.network import PimnetNetworkConfig, TierLinkConfig
 from ..config.presets import MachineConfig
 from ..config.units import GB
+from ..runner.registry import register_monolithic
 from .common import ExperimentTable, default_machine
 
 
@@ -60,7 +61,7 @@ def run(machine: MachineConfig | None = None) -> TiersResult:
     )
 
 
-def format_table(result: TiersResult) -> str:
+def build_tables(result: TiersResult) -> tuple[ExperimentTable, ...]:
     rows = tuple(
         (
             t.name,
@@ -72,16 +73,27 @@ def format_table(result: TiersResult) -> str:
         )
         for t in result.tiers
     )
-    return ExperimentTable(
-        "Table IV",
-        "PIMnet network hierarchy",
-        ("tier", "#ch", "width(b)", "GB/s per ch", "topology", "router"),
-        rows,
-        notes=(
-            f"chip bisection {result.chip_bisection_gbs:.1f} GB/s; "
-            f"rank inter-bank bisection "
-            f"{result.rank_interbank_bisection_gbs:.1f} GB/s; aggregate "
-            f"{result.rank_aggregate_gbs:.1f} GB/s per rank "
-            "(paper: 2.8 / 22.4 / 179.2)"
+    return (
+        ExperimentTable(
+            "Table IV",
+            "PIMnet network hierarchy",
+            ("tier", "#ch", "width(b)", "GB/s per ch", "topology", "router"),
+            rows,
+            notes=(
+                f"chip bisection {result.chip_bisection_gbs:.1f} GB/s; "
+                f"rank inter-bank bisection "
+                f"{result.rank_interbank_bisection_gbs:.1f} GB/s; aggregate "
+                f"{result.rank_aggregate_gbs:.1f} GB/s per rank "
+                "(paper: 2.8 / 22.4 / 179.2)"
+            ),
         ),
-    ).format()
+    )
+
+
+def format_table(result: TiersResult) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+SPEC = register_monolithic(
+    "table04", "Table IV: PIMnet network hierarchy", run, build_tables
+)

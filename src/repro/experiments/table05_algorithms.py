@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..collectives.patterns import Collective
 from ..core.collectives import PIMNET_ALGORITHMS, algorithm_chain
+from ..runner.registry import register_monolithic
 from .common import ExperimentTable
 
 
@@ -13,13 +14,27 @@ def run() -> dict[Collective, str]:
     }
 
 
-def format_table(result: dict[Collective, str]) -> str:
+def build_tables(result: dict[Collective, str]) -> tuple[ExperimentTable, ...]:
     rows = tuple(
         (pattern.value, chain) for pattern, chain in result.items()
     )
-    return ExperimentTable(
-        "Table V",
-        "Collective primitives on PIMnet",
-        ("pattern", "tier algorithm chain"),
-        rows,
-    ).format()
+    return (
+        ExperimentTable(
+            "Table V",
+            "Collective primitives on PIMnet",
+            ("pattern", "tier algorithm chain"),
+            rows,
+        ),
+    )
+
+
+def format_table(result: dict[Collective, str]) -> str:
+    return "\n\n".join(t.format() for t in build_tables(result))
+
+
+SPEC = register_monolithic(
+    "table05",
+    "Table V: collective primitives on PIMnet",
+    lambda machine: run(),
+    build_tables,
+)

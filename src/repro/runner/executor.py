@@ -1,0 +1,236 @@
+"""Serial/parallel execution of registered experiments, with caching.
+
+The executor resolves an experiment's sweep points, satisfies what it
+can from the content-addressed cache, computes the rest — serially, or
+fanned out over a ``ProcessPoolExecutor`` when ``RunnerConfig.jobs > 1``
+— and reassembles the values *by point index*, so the resulting tables
+are bit-identical regardless of jobs count, submission order, or cache
+state.
+
+A failing or timed-out point surfaces as :class:`PointExecutionError`
+carrying the point's params; the pool is cancelled and shut down before
+the error propagates.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..config.runner import RunnerConfig
+from ..errors import PointExecutionError, RunnerError
+from ..observability.metrics import metric_counter
+from .cache import ResultCache, cache_key, code_fingerprint
+from .registry import REGISTRY
+from .spec import ExperimentSpec, SweepPoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..config.presets import MachineConfig
+    from ..experiments.common import ExperimentTable
+
+#: Sentinel distinguishing "not computed yet" from a cached ``None``.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One executed experiment: its tables plus how they were obtained."""
+
+    experiment_id: str
+    tables: tuple["ExperimentTable", ...]
+    points: int
+    cache_hits: int
+    cache_misses: int
+    elapsed_s: float
+
+    def format(self) -> str:
+        return "\n\n".join(table.format() for table in self.tables)
+
+
+def run_experiment(
+    experiment_id: str,
+    machine: "MachineConfig | None" = None,
+    runner: RunnerConfig | None = None,
+) -> ExperimentRun:
+    """Execute one registered experiment under ``runner``'s policy."""
+    runner = runner or RunnerConfig()
+    spec = REGISTRY.get(experiment_id)
+    if machine is None:
+        machine = _default_machine()
+    start = time.perf_counter()
+    points = _checked_points(spec, machine)
+    values: list[Any] = [_UNSET] * len(points)
+
+    cache = ResultCache(runner.cache_dir) if runner.cache_enabled else None
+    code = code_fingerprint() if cache is not None else None
+    pending: list[tuple[SweepPoint, str | None]] = []
+    hits = 0
+    for point in points:
+        key = None
+        if cache is not None:
+            key = cache_key(experiment_id, machine, point.params, code=code)
+            hit, value = cache.get(experiment_id, key)
+            if hit:
+                values[point.index] = value
+                hits += 1
+                continue
+        pending.append((point, key))
+
+    if pending:
+        todo = [point for point, _ in pending]
+        if runner.jobs > 1 and len(todo) > 1:
+            computed = _run_parallel(spec, machine, todo, runner)
+        else:
+            computed = [
+                _run_serial_point(spec, machine, point, runner)
+                for point in todo
+            ]
+        for (point, key), value in zip(pending, computed):
+            values[point.index] = value
+            if cache is not None:
+                cache.put(experiment_id, key, value, params=point.params)
+
+    tables = tuple(spec.assemble(machine, tuple(values)))
+    metric_counter("runner.experiments").inc()
+    metric_counter("runner.points").inc(len(points))
+    return ExperimentRun(
+        experiment_id=experiment_id,
+        tables=tables,
+        points=len(points),
+        cache_hits=hits,
+        cache_misses=len(pending),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    machine: "MachineConfig | None" = None,
+    runner: RunnerConfig | None = None,
+) -> tuple[ExperimentRun, ...]:
+    """Execute several experiments in the given order, one shared machine."""
+    if machine is None:
+        machine = _default_machine()
+    runner = runner or RunnerConfig()
+    return tuple(
+        run_experiment(experiment_id, machine, runner)
+        for experiment_id in experiment_ids
+    )
+
+
+# --------------------------------------------------------------------------
+# Internals.
+# --------------------------------------------------------------------------
+
+
+def _default_machine() -> "MachineConfig":
+    from ..experiments.common import default_machine
+
+    return default_machine()
+
+
+def _checked_points(
+    spec: ExperimentSpec, machine: "MachineConfig"
+) -> tuple[SweepPoint, ...]:
+    points = tuple(spec.points(machine))
+    if sorted(point.index for point in points) != list(range(len(points))):
+        raise RunnerError(
+            f"{spec.experiment_id}: sweep point indices must be a "
+            f"permutation of 0..{len(points) - 1}"
+        )
+    return points
+
+
+def _execute_point(
+    experiment_id: str,
+    machine: "MachineConfig",
+    params: dict[str, Any],
+    worker_import: str | None = None,
+) -> Any:
+    """Worker-side entry: resolve the spec in this process and run it."""
+    if worker_import:
+        importlib.import_module(worker_import)
+    spec = REGISTRY.get(experiment_id)
+    return spec.point_fn(machine, **params)
+
+
+def _run_serial_point(
+    spec: ExperimentSpec,
+    machine: "MachineConfig",
+    point: SweepPoint,
+    runner: RunnerConfig,
+) -> Any:
+    try:
+        return spec.point_fn(machine, **point.params)
+    except Exception as exc:
+        raise _point_error(spec, point, f"failed: {exc}") from exc
+
+
+def _point_error(
+    spec: ExperimentSpec, point: SweepPoint, reason: str
+) -> PointExecutionError:
+    return PointExecutionError(
+        f"experiment {spec.experiment_id!r} point {point.params!r} {reason}",
+        experiment_id=spec.experiment_id,
+        params=point.params,
+    )
+
+
+def _mp_context():
+    """Prefer ``fork``: workers inherit the registry (and imports) as-is."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _run_parallel(
+    spec: ExperimentSpec,
+    machine: "MachineConfig",
+    points: list[SweepPoint],
+    runner: RunnerConfig,
+) -> list[Any]:
+    pool = ProcessPoolExecutor(
+        max_workers=min(runner.jobs, len(points)),
+        mp_context=_mp_context(),
+    )
+    futures: list[Future] = []
+    try:
+        for point in points:
+            futures.append(
+                pool.submit(
+                    _execute_point,
+                    spec.experiment_id,
+                    machine,
+                    point.params,
+                    spec.worker_import,
+                )
+            )
+        values: list[Any] = []
+        for point, future in zip(points, futures):
+            try:
+                values.append(future.result(timeout=runner.point_timeout_s))
+            except FutureTimeoutError as exc:
+                raise _point_error(
+                    spec,
+                    point,
+                    f"timed out after {runner.point_timeout_s}s",
+                ) from exc
+            except PointExecutionError:
+                raise
+            except Exception as exc:
+                raise _point_error(spec, point, f"failed: {exc}") from exc
+    except BaseException:
+        # Surface the first (in submission order) observed failure with
+        # a clean pool: cancel what has not started, do not block on
+        # what has.
+        for future in futures:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return values

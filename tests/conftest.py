@@ -13,6 +13,21 @@ from repro.config import (
 )
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current model output "
+        "instead of asserting against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def machine() -> MachineConfig:
     """The paper's simulated 256-DPU single-channel system (Table VI)."""

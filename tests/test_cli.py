@@ -24,19 +24,85 @@ class TestList:
 
 class TestRun:
     def test_run_single_experiment(self, capsys):
-        assert main(["run", "table05"]) == 0
+        assert main(["run", "table05", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Table V" in out
         assert "Ring(inter-bank)" in out
 
     def test_run_two_panel_experiment(self, capsys):
-        assert main(["run", "fig03"]) == 0
+        assert main(["run", "fig03", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Fig 3a" in out and "Fig 3b" in out
 
     def test_unknown_experiment_fails(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_no_cache_suppresses_summary_line(self, capsys):
+        assert main(["run", "table05", "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_cached_run_reports_hits_on_second_pass(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table05", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "cache: 0 hit(s), 1 miss(es)" in first
+        assert main(["run", "table05", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "cache: 1 hit(s), 0 miss(es)" in second
+        # The tables themselves must be identical either way.
+        assert first.split("cache:")[0] == second.split("cache:")[0]
+
+    def test_parallel_run_matches_serial(self, tmp_path, capsys):
+        assert main(["run", "fig16", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig16", "--no-cache", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_invalid_jobs_fails(self, capsys):
+        assert main(["run", "table05", "--jobs", "0", "--no-cache"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_clear_cache_flag_purges_before_running(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table05", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["run", "table05", "--cache-dir", cache_dir,
+                     "--clear-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "cleared 1 cached result(s)" in captured.err
+        assert "cache: 0 hit(s), 1 miss(es)" in captured.out
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nope")]) == 0
+        out = capsys.readouterr().out
+        assert "(empty)" in out
+
+    def test_stats_and_clear_roundtrip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig16", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "4 entries" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 4 cached result(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_stats_json_mode(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table05", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json", "--cache-dir",
+                     cache_dir]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["experiments"]["table05"]["entries"] == 1
 
 
 class TestInfo:
@@ -126,7 +192,8 @@ class TestRunInstrumented:
     def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
         trace_path = tmp_path / "run.json"
         metrics_path = tmp_path / "run-metrics.json"
-        assert main(["run", "fig11", "--trace", str(trace_path),
+        assert main(["run", "fig11", "--no-cache",
+                     "--trace", str(trace_path),
                      "--metrics", str(metrics_path)]) == 0
         trace = json.loads(trace_path.read_text())
         names = {e["name"] for e in trace["traceEvents"]}

@@ -72,6 +72,33 @@ class TestFig03:
         assert "Fig 3a" in text
 
 
+class TestExperimentTable:
+    def test_row_width_mismatch_fails_at_construction(self):
+        from repro.errors import ReproError
+        from repro.experiments.common import ExperimentTable
+
+        with pytest.raises(ReproError) as excinfo:
+            ExperimentTable("X", "t", ("a", "b"), ((1,),))
+        msg = str(excinfo.value)
+        assert "row 0" in msg and "width 1" in msg and "width 2" in msg
+
+    def test_only_the_offending_row_is_reported(self):
+        from repro.errors import ReproError
+        from repro.experiments.common import ExperimentTable
+
+        with pytest.raises(ReproError) as excinfo:
+            ExperimentTable(
+                "X", "t", ("a", "b"), ((1, 2), (3, 4), (5, 6, 7))
+            )
+        assert "row 2" in str(excinfo.value)
+
+    def test_well_formed_table_constructs_and_formats(self):
+        from repro.experiments.common import ExperimentTable
+
+        table = ExperimentTable("X", "t", ("a", "b"), ((1, 2),))
+        assert "== X: t ==" in table.format()
+
+
 class TestTables:
     def test_table04_aggregate_bandwidths(self):
         result = table04_tiers.run()

@@ -1,0 +1,239 @@
+"""Parallel executor: determinism, error surfacing, clean shutdown.
+
+Toy experiments registered here (and removed afterwards) keep these
+tests independent of the real experiment sweeps: the toys are cheap,
+their values encode their point params, and some of them misbehave on
+purpose.  Parallel cases require the ``fork`` start method so worker
+processes inherit the test-local registry entries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.config import RunnerConfig, small_test_system
+from repro.errors import PointExecutionError, RunnerError
+from repro.experiments.common import ExperimentTable
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.runner import (
+    REGISTRY,
+    ExperimentSpec,
+    SweepPoint,
+    run_experiment,
+    run_experiments,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel toy specs need fork-inherited registry entries",
+)
+
+N_POINTS = 6
+
+
+def _square_points(machine):
+    return tuple(
+        SweepPoint(i, {"x": i}) for i in range(N_POINTS)
+    )
+
+
+def _square_points_shuffled(machine):
+    order = [4, 1, 5, 0, 2, 3]
+    return tuple(SweepPoint(i, {"x": i}) for i in order)
+
+
+def _square_point(machine, x):
+    return {"x": x, "square": x * x, "pid": os.getpid()}
+
+
+def _square_assemble(machine, values):
+    rows = tuple((v["x"], v["square"]) for v in values)
+    return (
+        ExperimentTable("Toy", "squares", ("x", "x^2"), rows),
+    )
+
+
+def _failing_point(machine, x):
+    if x == 3:
+        raise ValueError(f"point {x} exploded")
+    return {"x": x, "square": x * x}
+
+
+def _sleepy_point(machine, x):
+    time.sleep(1.5)
+    return {"x": x, "square": x * x}
+
+
+def _duplicate_index_points(machine):
+    return (SweepPoint(0, {"x": 0}), SweepPoint(0, {"x": 1}))
+
+
+TOY_SPECS = (
+    ExperimentSpec(
+        "toy_squares", "toy", _square_points, _square_point, _square_assemble
+    ),
+    ExperimentSpec(
+        "toy_shuffled",
+        "toy",
+        _square_points_shuffled,
+        _square_point,
+        _square_assemble,
+    ),
+    ExperimentSpec(
+        "toy_failing",
+        "toy",
+        _square_points,
+        _failing_point,
+        _square_assemble,
+    ),
+    ExperimentSpec(
+        "toy_sleepy", "toy", _square_points, _sleepy_point, _square_assemble
+    ),
+    ExperimentSpec(
+        "toy_bad_indices",
+        "toy",
+        _duplicate_index_points,
+        _square_point,
+        _square_assemble,
+    ),
+)
+
+
+@pytest.fixture(autouse=True)
+def toy_registry():
+    for spec in TOY_SPECS:
+        REGISTRY.register(spec, replace=True)
+    try:
+        yield
+    finally:
+        for spec in TOY_SPECS:
+            if spec.experiment_id in REGISTRY:
+                REGISTRY.unregister(spec.experiment_id)
+
+
+@pytest.fixture
+def machine():
+    return small_test_system()
+
+
+def _no_cache(jobs=1, **kwargs):
+    return RunnerConfig(jobs=jobs, cache_enabled=False, **kwargs)
+
+
+EXPECTED_ROWS = tuple((x, x * x) for x in range(N_POINTS))
+
+
+class TestDeterminism:
+    def test_serial_rows_are_in_index_order(self, machine):
+        run = run_experiment("toy_squares", machine, _no_cache())
+        assert run.tables[0].rows == EXPECTED_ROWS
+        assert run.points == N_POINTS
+
+    @needs_fork
+    def test_parallel_equals_serial(self, machine):
+        serial = run_experiment("toy_squares", machine, _no_cache())
+        parallel = run_experiment("toy_squares", machine, _no_cache(jobs=4))
+        assert parallel.tables == serial.tables
+
+    @needs_fork
+    def test_shuffled_submission_order_is_reassembled_by_index(
+        self, machine
+    ):
+        serial = run_experiment("toy_shuffled", machine, _no_cache())
+        parallel = run_experiment("toy_shuffled", machine, _no_cache(jobs=3))
+        assert serial.tables[0].rows == EXPECTED_ROWS
+        assert parallel.tables == serial.tables
+
+
+class TestErrorSurfacing:
+    def test_serial_failure_carries_point_params(self, machine):
+        with pytest.raises(PointExecutionError) as excinfo:
+            run_experiment("toy_failing", machine, _no_cache())
+        assert excinfo.value.experiment_id == "toy_failing"
+        assert excinfo.value.params == {"x": 3}
+        assert "exploded" in str(excinfo.value)
+
+    @needs_fork
+    def test_parallel_failure_carries_point_params(self, machine):
+        with pytest.raises(PointExecutionError) as excinfo:
+            run_experiment("toy_failing", machine, _no_cache(jobs=3))
+        assert excinfo.value.experiment_id == "toy_failing"
+        assert excinfo.value.params == {"x": 3}
+
+    @needs_fork
+    def test_executor_recovers_after_a_failed_run(self, machine):
+        with pytest.raises(PointExecutionError):
+            run_experiment("toy_failing", machine, _no_cache(jobs=3))
+        run = run_experiment("toy_squares", machine, _no_cache(jobs=3))
+        assert run.tables[0].rows == EXPECTED_ROWS
+
+    @needs_fork
+    def test_timeout_surfaces_with_params(self, machine):
+        runner = _no_cache(jobs=2, point_timeout_s=0.25)
+        start = time.perf_counter()
+        with pytest.raises(PointExecutionError) as excinfo:
+            run_experiment("toy_sleepy", machine, runner)
+        elapsed = time.perf_counter() - start
+        assert "timed out" in str(excinfo.value)
+        assert excinfo.value.params == {"x": 0}
+        # The run must fail promptly, not wait out every sleeping worker.
+        assert elapsed < 1.4
+
+    def test_unknown_experiment_raises_runner_error(self, machine):
+        with pytest.raises(RunnerError) as excinfo:
+            run_experiment("toy_nonexistent", machine, _no_cache())
+        assert "unknown experiment" in str(excinfo.value)
+
+    def test_duplicate_point_indices_rejected(self, machine):
+        with pytest.raises(RunnerError) as excinfo:
+            run_experiment("toy_bad_indices", machine, _no_cache())
+        assert "permutation" in str(excinfo.value)
+
+
+class TestCachingThroughExecutor:
+    def test_cold_then_warm_counts(self, machine, tmp_path):
+        runner = RunnerConfig(cache_dir=str(tmp_path / "cache"))
+        cold = run_experiment("toy_squares", machine, runner)
+        assert (cold.cache_hits, cold.cache_misses) == (0, N_POINTS)
+        warm = run_experiment("toy_squares", machine, runner)
+        assert (warm.cache_hits, warm.cache_misses) == (N_POINTS, 0)
+        assert warm.tables == cold.tables
+
+    @needs_fork
+    def test_parallel_cold_run_seeds_the_cache_for_serial_warm(
+        self, machine, tmp_path
+    ):
+        parallel = RunnerConfig(jobs=3, cache_dir=str(tmp_path / "cache"))
+        serial = RunnerConfig(jobs=1, cache_dir=str(tmp_path / "cache"))
+        cold = run_experiment("toy_squares", machine, parallel)
+        warm = run_experiment("toy_squares", machine, serial)
+        assert warm.cache_hits == N_POINTS
+        assert warm.tables == cold.tables
+
+    def test_metrics_counters_are_recorded(self, machine, tmp_path):
+        registry = MetricsRegistry()
+        runner = RunnerConfig(cache_dir=str(tmp_path / "cache"))
+        with use_metrics(registry):
+            run_experiment("toy_squares", machine, runner)
+            run_experiment("toy_squares", machine, runner)
+        snapshot = registry.snapshot()
+        assert snapshot["runner.cache.misses"]["value"] == N_POINTS
+        assert snapshot["runner.cache.stores"]["value"] == N_POINTS
+        assert snapshot["runner.cache.hits"]["value"] == N_POINTS
+        assert snapshot["runner.experiments"]["value"] == 2
+        assert snapshot["runner.points"]["value"] == 2 * N_POINTS
+
+
+class TestRunExperiments:
+    def test_runs_in_given_order(self, machine):
+        runs = run_experiments(
+            ["toy_shuffled", "toy_squares"], machine, _no_cache()
+        )
+        assert [r.experiment_id for r in runs] == [
+            "toy_shuffled", "toy_squares",
+        ]
+        assert all(r.tables[0].rows == EXPECTED_ROWS for r in runs)
