@@ -1,0 +1,58 @@
+"""Micro-benchmark: event-driven cycle loop vs the naive reference loop.
+
+Times both loops on the saturating high-load point of the load-latency
+sweep (the regime the event-driven rewrite targets: heavy crossbar/bus
+contention, most ring links idle) and reports the wall-clock speedup.
+The two runs must also agree on every semantic statistic — the speedup
+is only worth reporting if the loops are equivalent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.noc_load_latency import high_load_workload
+from repro.noc import NocSimulator
+
+from .conftest import run_once
+
+
+def _time_loop(runner) -> tuple[float, object]:
+    start = time.perf_counter()
+    stats = runner()
+    return time.perf_counter() - start, stats
+
+
+def test_event_loop_speedup(benchmark, report):
+    network, messages = high_load_workload()
+
+    def compare():
+        naive_sim = NocSimulator(network, messages)
+        naive_s, naive_stats = _time_loop(naive_sim._run_reference)
+        event_sim = NocSimulator(network, messages)
+        event_s, event_stats = _time_loop(event_sim.run)
+        return naive_s, naive_stats, event_s, event_stats
+
+    naive_s, naive_stats, event_s, event_stats = run_once(benchmark, compare)
+
+    assert event_stats.cycles == naive_stats.cycles
+    assert event_stats.flits_delivered == naive_stats.flits_delivered
+    assert event_stats.per_message_latency == naive_stats.per_message_latency
+    assert event_stats.arbitration_conflicts == (
+        naive_stats.arbitration_conflicts
+    )
+
+    speedup = naive_s / event_s
+    report(
+        "NoC cycle loop, high-load point "
+        f"({len(messages)} messages, {naive_stats.cycles} cycles):\n"
+        f"  naive reference loop : {naive_s * 1e3:8.1f} ms "
+        f"({naive_stats.events_processed} cycles stepped)\n"
+        f"  event-driven loop    : {event_s * 1e3:8.1f} ms "
+        f"({event_stats.events_processed} events, "
+        f"{event_stats.idle_cycles_skipped} idle cycles skipped)\n"
+        f"  speedup              : {speedup:8.2f}x"
+    )
+    # Locally ~4x; the floor is set below the target to tolerate noisy
+    # shared CI runners without letting a real regression through.
+    assert speedup >= 2.0

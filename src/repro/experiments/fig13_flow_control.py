@@ -10,6 +10,11 @@ control suffers contention at the inter-chip crossbar.
 The default scope is one rank (8 chips' worth of crossbar traffic) —
 the tier whose contention the paper analyzes — kept small enough for a
 pure-Python flit simulator.
+
+The comparison is only honest if the credit-mode arbitration is fair:
+switch allocation rotates over each router's stable input-port list and
+the shared bus rotates grants across ranks (see ``docs/NOC.md``), so
+neither discipline wins by accident of link iteration order.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ measured in the cycle-level simulator.  At low load latency sits near
 the zero-load bound; as offered load approaches the crossbar/bus
 saturation point, credit back-pressure sends latency super-linear —
 exactly the regime PIMnet's static scheduling is designed to avoid.
+
+Sweeping many offered-load points is what the event-driven cycle loop
+(see ``docs/NOC.md``) exists for; ``high_load_workload`` pins the
+saturating point that ``benchmarks/test_noc_sim.py`` uses to compare it
+against the naive reference loop.
 """
 
 from __future__ import annotations
@@ -64,8 +69,7 @@ def _traffic_pattern(
     return pattern
 
 
-def _point(
-    machine: MachineConfig,
+def build_point_workload(
     rate: float,
     banks: int,
     chips: int,
@@ -73,9 +77,13 @@ def _point(
     messages_per_dpu: int,
     flits_per_message: int,
     seed: int,
-) -> dict[str, float | int]:
-    """One injection rate in the cycle-level simulator; ``machine`` is
-    not used (the NoC simulator is parameterized by shape)."""
+) -> tuple[NocNetwork, list[Message]]:
+    """The network and message list for one offered-load point.
+
+    Shared between the registered sweep and ``benchmarks/test_noc_sim.py``,
+    which times the event-driven loop against the naive reference loop
+    on the same workload.
+    """
     if rate <= 0:
         raise SimulationError("injection rate must be positive")
     shape = Shape(banks, chips, ranks)
@@ -95,6 +103,50 @@ def _point(
                 ready_cycle=slot * interval,
             )
         )
+    return network, messages
+
+
+def high_load_workload(
+    banks: int = 4,
+    chips: int = 4,
+    ranks: int = 2,
+    messages_per_dpu: int = 8,
+    flits_per_message: int = 4,
+    seed: int = 5,
+) -> tuple[NocNetwork, list[Message]]:
+    """The saturating benchmark point: max sweep rate, larger fabric.
+
+    Contention concentrates on the crossbars and the shared bus while
+    most ring links idle — exactly the regime where the event-driven
+    loop's active-router tracking pays off over the naive loop's
+    every-link-every-cycle scan.
+    """
+    return build_point_workload(
+        rate=INJECTION_RATES[-1],
+        banks=banks,
+        chips=chips,
+        ranks=ranks,
+        messages_per_dpu=messages_per_dpu,
+        flits_per_message=flits_per_message,
+        seed=seed,
+    )
+
+
+def _point(
+    machine: MachineConfig,
+    rate: float,
+    banks: int,
+    chips: int,
+    ranks: int,
+    messages_per_dpu: int,
+    flits_per_message: int,
+    seed: int,
+) -> dict[str, float | int]:
+    """One injection rate in the cycle-level simulator; ``machine`` is
+    not used (the NoC simulator is parameterized by shape)."""
+    network, messages = build_point_workload(
+        rate, banks, chips, ranks, messages_per_dpu, flits_per_message, seed
+    )
     stats = NocSimulator(network, messages).run()
     return {
         "mean_latency": float(stats.mean_message_latency),

@@ -69,7 +69,16 @@ class Flit:
 
 @dataclass
 class SimStats:
-    """Aggregate statistics of one NoC simulation run."""
+    """Aggregate statistics of one NoC simulation run.
+
+    ``events_processed`` counts the cycles whose state the simulator
+    actually evaluated and ``idle_cycles_skipped`` the cycles it
+    fast-forwarded over; the naive reference loop reports
+    ``events_processed == cycles`` and zero skipped.  ``grant_log`` /
+    ``medium_grant_log`` record per-output-port and per-medium grant
+    sequences, and are only populated when the simulator is constructed
+    with ``record_grants=True`` (they exist for fairness tests).
+    """
 
     cycles: int = 0
     flits_delivered: int = 0
@@ -77,8 +86,14 @@ class SimStats:
     total_flit_hops: int = 0
     peak_buffer_occupancy: int = 0
     arbitration_conflicts: int = 0
+    events_processed: int = 0
+    idle_cycles_skipped: int = 0
     per_message_latency: dict[int, int] = field(default_factory=dict)
     link_busy_cycles: dict[str, int] = field(default_factory=dict)
+    #: output link name -> granted input port names, in grant order
+    grant_log: dict[str, list[str]] = field(default_factory=dict)
+    #: medium name -> granted member link names, in grant order
+    medium_grant_log: dict[str, list[str]] = field(default_factory=dict)
 
     @property
     def mean_message_latency(self) -> float:

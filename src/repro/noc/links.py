@@ -1,4 +1,18 @@
-"""Links, shared media, and input-buffered router state."""
+"""Links, shared media, and input-buffered router state.
+
+Both simulator loops (the event-driven production loop and the naive
+reference loop kept for equivalence testing) drive the same primitives:
+
+* :class:`Link.start_traversal` returns the arrival cycle so the caller
+  can feed an event heap instead of polling ``in_flight`` every cycle;
+* ``in_flight`` is a deque ordered by arrival time (arrivals are
+  scheduled monotonically because a link serializes flits), so
+  :meth:`Link.deliver_arrivals` pops from the front instead of
+  rebuilding the list;
+* :class:`SharedMedium` tracks its member links and a round-robin grant
+  pointer so bus arbitration rotates instead of statically favoring
+  whichever link happens to come first in the network's link dict.
+"""
 
 from __future__ import annotations
 
@@ -8,19 +22,41 @@ from dataclasses import dataclass, field
 from ..errors import SimulationError
 
 
-@dataclass
+@dataclass(eq=False)
 class SharedMedium:
     """A serialization resource shared by several links.
 
     Models the half-duplex multi-drop DDR bus: every link that crosses
     the bus (up or down, any rank pair) contends for the same medium.
+    Links register themselves at construction; ``rr_index`` points at
+    the member with the highest grant priority and advances past each
+    grantee, giving the bus round-robin arbitration instead of the
+    registration-order static priority it used to have.
     """
 
     name: str
     next_free_cycle: int = 0
+    members: list = field(default_factory=list)
+    rr_index: int = 0
+
+    def register(self, link: "Link") -> None:
+        self.members.append(link)
+
+    def grant_rotation(self) -> list:
+        """Member links in current round-robin priority order."""
+        k = self.rr_index
+        return self.members[k:] + self.members[:k]
+
+    def advance_after(self, link: "Link") -> None:
+        """Move the grant pointer just past ``link`` (the cycle's grantee)."""
+        self.rr_index = (self.members.index(link) + 1) % len(self.members)
+
+    def reset(self) -> None:
+        self.next_free_cycle = 0
+        self.rr_index = 0
 
 
-@dataclass
+@dataclass(eq=False)
 class Link:
     """A directed channel between two routers with credit flow control.
 
@@ -42,7 +78,7 @@ class Link:
     credits: int = field(init=False)
     next_free_cycle: int = field(init=False, default=0)
     buffer: deque = field(init=False, default_factory=deque)
-    in_flight: list = field(init=False, default_factory=list)
+    in_flight: deque = field(init=False, default_factory=deque)
 
     def __post_init__(self) -> None:
         if self.cycles_per_flit < 1:
@@ -54,6 +90,8 @@ class Link:
         if self.buffer_depth < 1:
             raise SimulationError(f"{self.name}: need buffer depth >= 1")
         self.credits = self.buffer_depth
+        if self.medium is not None:
+            self.medium.register(self)
 
     # -- flow control -------------------------------------------------------
     def can_accept(self, now: int) -> bool:
@@ -66,28 +104,33 @@ class Link:
             return False
         return True
 
-    def start_traversal(self, flit, now: int) -> None:
-        """Commit a flit to the wire; arrival is scheduled for later."""
+    def start_traversal(self, flit, now: int) -> int:
+        """Commit a flit to the wire; returns its arrival cycle."""
         if not self.can_accept(now):
             raise SimulationError(f"{self.name}: traversal without capacity")
         self.credits -= 1
         self.next_free_cycle = now + self.cycles_per_flit
         if self.medium is not None:
             self.medium.next_free_cycle = now + self.cycles_per_flit
-        self.in_flight.append(
-            (now + self.cycles_per_flit + self.latency_cycles, flit)
-        )
+        arrival = now + self.cycles_per_flit + self.latency_cycles
+        self.in_flight.append((arrival, flit))
+        return arrival
 
-    def deliver_arrivals(self, now: int) -> None:
-        """Move flits whose arrival time has come into the input buffer."""
-        remaining = []
-        for arrival, flit in self.in_flight:
-            if arrival <= now:
-                flit.arrival_link = self
-                self.buffer.append(flit)
-            else:
-                remaining.append((arrival, flit))
-        self.in_flight = remaining
+    def deliver_arrivals(self, now: int) -> int:
+        """Move flits whose arrival time has come into the input buffer.
+
+        ``in_flight`` is ordered by arrival time (serialization makes
+        traversal starts, hence arrivals, monotonic per link), so due
+        flits sit at the front.  Returns how many flits were delivered.
+        """
+        moved = 0
+        in_flight = self.in_flight
+        while in_flight and in_flight[0][0] <= now:
+            _, flit = in_flight.popleft()
+            flit.arrival_link = self
+            self.buffer.append(flit)
+            moved += 1
+        return moved
 
     def return_credit(self) -> None:
         self.credits += 1

@@ -196,4 +196,4 @@ class NocNetwork:
     def reset(self) -> None:
         for link in self.links.values():
             link.reset()
-        self.bus_medium.next_free_cycle = 0
+        self.bus_medium.reset()

@@ -2,7 +2,8 @@
 
 A faithful (if compact) Booksim-style model: input-buffered routers,
 credit-based flow control, round-robin switch allocation per output
-link, deterministic routing, and a shared half-duplex bus medium.
+link, round-robin grant rotation on shared media, deterministic
+routing, and a shared half-duplex bus medium.
 
 The same simulator runs both of Fig 13's configurations:
 
@@ -13,17 +14,28 @@ The same simulator runs both of Fig 13's configurations:
   a barrier's messages inject only after every earlier barrier fully
   delivered (the WAIT semantics), and all sources start together after
   the READY/START synchronization.
+
+The production loop (:meth:`NocSimulator.run`) is event-driven: it keeps
+a min-heap of "interesting" cycles (message ready times, flit arrivals,
+link/medium free times, plus the cycle after any state change) and
+fast-forwards between them, touching only routers that hold flits and
+links that have pending arrivals.  The naive cycle-by-cycle loop is kept
+as :meth:`NocSimulator._run_reference`; both share the injection,
+ejection, and arbitration helpers, and equivalence tests hold their
+outputs byte-for-byte equal (see ``docs/NOC.md``).
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 from ..observability import metric_counter, metric_gauge, trace_span
 from .flit import Flit, Message, SimStats
-from .links import Link
+from .links import Link, SharedMedium
 from .network import NocNetwork
 
 
@@ -34,6 +46,62 @@ class _InjectionQueue:
     flits: deque = field(default_factory=deque)
 
 
+class _RunState:
+    """Per-run mutable state shared by the event-driven and naive loops."""
+
+    __slots__ = (
+        "stats",
+        "injection",
+        "not_injected",
+        "remaining",
+        "links",
+        "pos",
+        "router_ports",
+        "rr",
+        "medium_base",
+        "member_pos",
+        "outstanding",
+        "barrier_order",
+        "msg_rank",
+        "frontier",
+        "req_count",
+        "requested",
+        "buffered",
+        "inject_dirty",
+        "ready_heap",
+        "arb_heap",
+        "arb_visited",
+        "arb_cursor",
+    )
+
+    def __init__(self) -> None:
+        self.stats = SimStats()
+        self.injection: dict[int, _InjectionQueue] = {}
+        self.not_injected: deque = deque()
+        self.remaining = 0
+        self.links: list[Link] = []
+        self.pos: dict[Link, int] = {}
+        self.router_ports: dict[str, list[tuple[str, object]]] = {}
+        self.rr: dict[str, int] = {}
+        self.medium_base: dict[SharedMedium, int] = {}
+        self.member_pos: dict[Link, int] = {}
+        self.outstanding: dict[int, int] = {}
+        self.barrier_order: list[int] = []
+        self.msg_rank: dict[int, int] = {}
+        self.frontier = 0
+        self.req_count: dict[Link, int] = {}
+        self.requested: set[Link] = set()
+        self.buffered: set[Link] = set()
+        self.inject_dirty = False
+        self.ready_heap: list[int] = []
+        # Step-4 worklist (only live inside the event loop's allocation
+        # step): a heap of (arb key, pos, link) still to visit this
+        # cycle, the links already visited, and the current position.
+        self.arb_heap: list | None = None
+        self.arb_visited: set[Link] = set()
+        self.arb_cursor: tuple[int, int] = (-1, -1)
+
+
 class NocSimulator:
     """Runs a set of messages over a :class:`NocNetwork` to completion."""
 
@@ -42,12 +110,30 @@ class NocSimulator:
         network: NocNetwork,
         messages: list[Message],
         use_barriers: bool = False,
+        record_grants: bool = False,
     ) -> None:
         self.network = network
         self.messages = {m.msg_id: m for m in messages}
         if len(self.messages) != len(messages):
             raise SimulationError("duplicate message ids")
+        for m in messages:
+            if m.num_flits < 1:
+                raise SimulationError(
+                    f"message {m.msg_id} has {m.num_flits} flits; "
+                    "zero-flit messages are rejected, not silently dropped"
+                )
+            for dep in m.deps:
+                if dep == m.msg_id:
+                    raise SimulationError(
+                        f"message {m.msg_id} depends on itself"
+                    )
+                if dep not in self.messages:
+                    raise SimulationError(
+                        f"message {m.msg_id} depends on unknown "
+                        f"message {dep}"
+                    )
         self.use_barriers = use_barriers
+        self.record_grants = record_grants
         self.barriers: dict[int, int] = {}
         self._message_barrier: dict[int, int] = {}
 
@@ -66,14 +152,17 @@ class NocSimulator:
     def _deps_satisfied(self, message: Message) -> bool:
         return all(self.messages[d].delivered for d in message.deps)
 
-    def _barrier_open(self, message: Message) -> bool:
-        mine = self._message_barrier.get(message.msg_id, 0)
-        for barrier, count in self._outstanding.items():
-            if barrier < mine and count > 0:
-                return False
-        return True
+    def _barrier_open(self, message: Message, state: _RunState) -> bool:
+        """All barriers strictly earlier than the message's have drained.
 
-    # -- main loop -------------------------------------------------------------------
+        ``state.frontier`` counts the leading fully-drained barriers in
+        release order (``state.barrier_order``); a message is open when
+        its precomputed rank lies within that drained prefix — an O(1)
+        check instead of a scan over every barrier per message per cycle.
+        """
+        return state.msg_rank.get(message.msg_id, 0) <= state.frontier
+
+    # -- run entry points ------------------------------------------------------------
     def run(self, max_cycles: int = 50_000_000) -> SimStats:
         """Simulate to completion; the cycle loop itself is in `_run`."""
         with trace_span(
@@ -88,6 +177,8 @@ class NocSimulator:
                 flits_delivered=stats.flits_delivered,
                 arbitration_conflicts=stats.arbitration_conflicts,
                 peak_buffer_occupancy=stats.peak_buffer_occupancy,
+                events_processed=stats.events_processed,
+                idle_cycles_skipped=stats.idle_cycles_skipped,
             )
             metric_counter("noc.cycles").inc(stats.cycles)
             metric_counter("noc.flits_delivered").inc(stats.flits_delivered)
@@ -95,132 +186,413 @@ class NocSimulator:
             metric_counter("noc.arbitration_conflicts").inc(
                 stats.arbitration_conflicts
             )
+            metric_counter("noc.events_processed").inc(
+                stats.events_processed
+            )
+            metric_counter("noc.idle_cycles_skipped").inc(
+                stats.idle_cycles_skipped
+            )
             metric_gauge("noc.peak_buffer_occupancy").max(
                 stats.peak_buffer_occupancy
             )
             return stats
 
-    def _run(self, max_cycles: int) -> SimStats:
+    # -- shared setup -----------------------------------------------------------------
+    def _prepare(self) -> _RunState:
         network = self.network
         network.reset()
-        stats = SimStats()
-        injection: dict[int, _InjectionQueue] = {}
+        state = _RunState()
         pending = sorted(self.messages.values(), key=lambda m: m.msg_id)
         for m in pending:
             m.injected_flits = 0
             m.delivered_flits = 0
             m.inject_start_cycle = None
             m.complete_cycle = None
-        self._outstanding = {
+        state.not_injected = deque(pending)
+        state.remaining = sum(m.num_flits for m in pending)
+
+        state.outstanding = {
             b: 0 for b in set(self._message_barrier.values())
         }
         for msg_id, barrier in self._message_barrier.items():
-            self._outstanding[barrier] += self.messages[msg_id].num_flits
+            state.outstanding[barrier] += self.messages[msg_id].num_flits
+        state.barrier_order = sorted(state.outstanding)
+        state.frontier = 0
+        if self.use_barriers:
+            for m in pending:
+                state.msg_rank[m.msg_id] = bisect_left(
+                    state.barrier_order,
+                    self._message_barrier.get(m.msg_id, 0),
+                )
 
-        not_injected = deque(pending)
         links = list(network.links.values())
-        rr_pointers: dict[str, int] = {l.name: 0 for l in links}
-        # Input buffers per router: delivering links plus the NIC queue.
-        router_inputs: dict[str, list[Link]] = {}
+        state.links = links
+        state.pos = {link: i for i, link in enumerate(links)}
+        state.rr = {link.name: 0 for link in links}
+        # Input ports per router, in stable construction order, with the
+        # NIC as the final port of every stop router.  The round-robin
+        # pointer of each output link indexes this fixed port list, so
+        # it keeps meaning something when the set of *requesting* ports
+        # changes from cycle to cycle.
+        ports: dict[str, list[tuple[str, object]]] = {}
         for link in links:
-            router_inputs.setdefault(link.dst_router, []).append(link)
-            router_inputs.setdefault(link.src_router, [])
-        router_links_out: dict[str, list[Link]] = {}
+            ports.setdefault(link.dst_router, []).append(("link", link))
+            ports.setdefault(link.src_router, [])
+        for router in ports:
+            nic_dpu = self._nic_dpu(router)
+            if nic_dpu >= 0:
+                ports[router].append(("nic", nic_dpu))
+        state.router_ports = ports
+        # Arbitration ordering: plain links keep their stable position;
+        # a shared medium's members are grouped at the position of the
+        # medium's first member and ordered by its grant rotation.
         for link in links:
-            router_links_out.setdefault(link.src_router, []).append(link)
+            medium = link.medium
+            if medium is not None and medium not in state.medium_base:
+                state.medium_base[medium] = state.pos[link]
+        for medium in state.medium_base:
+            for i, member in enumerate(medium.members):
+                state.member_pos[member] = i
+        return state
 
-        remaining_flits = sum(m.num_flits for m in pending)
-        now = 0
-        while remaining_flits > 0:
-            if now >= max_cycles:
-                raise SimulationError(
-                    f"NoC simulation exceeded {max_cycles} cycles with "
-                    f"{remaining_flits} flits outstanding — deadlock or "
-                    "pathological contention"
-                )
-            # 1. inject newly eligible messages into their NIC queues
-            still_waiting = deque()
-            while not_injected:
-                m = not_injected.popleft()
-                eligible = (
-                    m.ready_cycle <= now
-                    and self._deps_satisfied(m)
-                    and (not self.use_barriers or self._barrier_open(m))
-                )
-                if not eligible:
-                    still_waiting.append(m)
+    def _arb_sort_key(self, link: Link, state: _RunState) -> tuple[int, int]:
+        medium = link.medium
+        if medium is None:
+            return (state.pos[link], 0)
+        rot = (state.member_pos[link] - medium.rr_index) % len(medium.members)
+        return (state.medium_base[medium], rot)
+
+    def _full_arb_order(self, state: _RunState) -> list[Link]:
+        """Every output link in this cycle's arbitration order."""
+        order: list[Link] = []
+        seen: set[SharedMedium] = set()
+        for link in state.links:
+            medium = link.medium
+            if medium is None:
+                order.append(link)
+            elif medium not in seen:
+                seen.add(medium)
+                order.extend(medium.grant_rotation())
+        return order
+
+    # -- request tracking ---------------------------------------------------------------
+    # Every head-of-queue flit (input buffer or NIC) holds exactly one
+    # "request" on its next output link; the event loop arbitrates only
+    # requested links.  A request appearing *during* switch allocation
+    # (a grant or ejection reveals a new head) joins the in-flight
+    # worklist if its position has not been passed yet — exactly the
+    # links the naive loop, which visits every link in order, would
+    # still reach this cycle.
+    def _req_inc(self, state: _RunState, link: Link) -> None:
+        count = state.req_count.get(link, 0)
+        state.req_count[link] = count + 1
+        if count == 0:
+            state.requested.add(link)
+            heap = state.arb_heap
+            if heap is not None and link not in state.arb_visited:
+                key = self._arb_sort_key(link, state)
+                if key > state.arb_cursor:
+                    heapq.heappush(heap, (key, state.pos[link], link))
+
+    def _req_dec(self, state: _RunState, link: Link) -> None:
+        count = state.req_count[link] - 1
+        state.req_count[link] = count
+        if count == 0:
+            state.requested.discard(link)
+
+    # -- shared per-cycle actions -------------------------------------------------------
+    def _inject(self, message: Message, state: _RunState, now: int) -> None:
+        message.inject_start_cycle = now
+        path = self.network.path(message.src, message.dst)
+        queue = state.injection.setdefault(message.src, _InjectionQueue())
+        was_empty = not queue.flits
+        for seq in range(message.num_flits):
+            queue.flits.append(Flit(message=message, seq=seq, path=path))
+        message.injected_flits = message.num_flits
+        if was_empty:
+            self._req_inc(state, queue.flits[0].next_link)
+
+    def _scan_injections(self, state: _RunState, now: int) -> bool:
+        """Step 1: move newly eligible messages into their NIC queues."""
+        injected = False
+        still_waiting: deque = deque()
+        not_injected = state.not_injected
+        while not_injected:
+            m = not_injected.popleft()
+            eligible = (
+                m.ready_cycle <= now
+                and self._deps_satisfied(m)
+                and (not self.use_barriers or self._barrier_open(m, state))
+            )
+            if not eligible:
+                still_waiting.append(m)
+                continue
+            self._inject(m, state, now)
+            injected = True
+        state.not_injected = still_waiting
+        return injected
+
+    def _deliver(self, link: Link, state: _RunState, now: int) -> int:
+        """Step 2 for one link: land due arrivals in its input buffer."""
+        was_empty = not link.buffer
+        moved = link.deliver_arrivals(now)
+        if moved:
+            if was_empty:
+                head = link.buffer[0]
+                if not head.at_destination:
+                    self._req_inc(state, head.next_link)
+            state.buffered.add(link)
+            occupancy = len(link.buffer)
+            if occupancy > state.stats.peak_buffer_occupancy:
+                state.stats.peak_buffer_occupancy = occupancy
+        return moved
+
+    def _eject(self, link: Link, state: _RunState, now: int) -> None:
+        """Step 3 for one link: pop a head flit that reached its stop."""
+        flit = link.buffer.popleft()
+        link.return_credit()
+        if link.buffer:
+            head = link.buffer[0]
+            if not head.at_destination:
+                self._req_inc(state, head.next_link)
+        else:
+            state.buffered.discard(link)
+        self._account_delivery(flit, now, state)
+        state.remaining -= 1
+
+    def _try_grant(
+        self, link: Link, state: _RunState, now: int
+    ) -> int | None:
+        """Step 4 for one output link: round-robin switch allocation.
+
+        The pointer rotates over the router's *stable* port list (input
+        links in construction order, NIC last): the grant goes to the
+        first requesting port at or after the pointer, and the pointer
+        advances just past the grantee — so a persistently backlogged
+        port can neither be starved nor double-served when the set of
+        requesting ports changes.  Returns the granted flit's arrival
+        cycle, or None when no port requests this output.
+        """
+        ports = state.router_ports.get(link.src_router)
+        if not ports:
+            return None
+        num_ports = len(ports)
+        pointer = state.rr[link.name]
+        chosen = -1
+        requesting = 0
+        for offset in range(num_ports):
+            i = pointer + offset
+            if i >= num_ports:
+                i -= num_ports
+            kind, obj = ports[i]
+            if kind == "nic":
+                queue = state.injection.get(obj)
+                if queue is None or not queue.flits:
                     continue
-                m.inject_start_cycle = now
-                path = network.path(m.src, m.dst)
-                queue = injection.setdefault(m.src, _InjectionQueue())
-                for seq in range(m.num_flits):
-                    queue.flits.append(Flit(message=m, seq=seq, path=path))
-                m.injected_flits = m.num_flits
-            not_injected = still_waiting
-
-            # 2. deliver in-flight flits into downstream buffers
-            for link in links:
-                link.deliver_arrivals(now)
-                occupancy = len(link.buffer)
-                if occupancy > stats.peak_buffer_occupancy:
-                    stats.peak_buffer_occupancy = occupancy
-
-            # 3. eject flits that reached their destination (head of FIFO)
-            for link in links:
-                if link.buffer:
-                    head = link.buffer[0]
-                    if head.at_destination:
-                        link.buffer.popleft()
-                        link.return_credit()
-                        self._account_delivery(head, now, stats)
-                        remaining_flits -= 1
-
-            # 4. switch allocation: round-robin per output link
-            for link in links:
-                if not link.can_accept(now):
+                head = queue.flits[0]
+                if head.next_link is not link:
                     continue
-                candidates: list[tuple[str, object]] = []
-                for in_link in router_inputs.get(link.src_router, []):
-                    if in_link.buffer:
-                        head = in_link.buffer[0]
-                        if (
-                            not head.at_destination
-                            and head.next_link is link
-                        ):
-                            candidates.append((in_link.name, in_link))
-                nic = injection.get(self._nic_dpu(link.src_router))
-                if nic and nic.flits:
-                    head = nic.flits[0]
-                    if head.next_link is link:
-                        candidates.append(("nic", nic))
-                if not candidates:
+            else:
+                buf = obj.buffer
+                if not buf:
                     continue
-                if len(candidates) > 1:
-                    stats.arbitration_conflicts += 1
-                pointer = rr_pointers[link.name]
-                chosen_name, chosen = candidates[pointer % len(candidates)]
-                rr_pointers[link.name] = pointer + 1
-                if chosen_name == "nic":
-                    flit = chosen.flits.popleft()
-                else:
-                    flit = chosen.buffer.popleft()
-                    chosen.return_credit()
-                flit.hop_index += 1
-                flit.arrival_link = None
-                link.start_traversal(flit, now)
-                stats.total_flit_hops += 1
-                stats.link_busy_cycles[link.name] = (
-                    stats.link_busy_cycles.get(link.name, 0)
-                    + link.cycles_per_flit
-                )
+                head = buf[0]
+                if head.at_destination or head.next_link is not link:
+                    continue
+            requesting += 1
+            if chosen < 0:
+                chosen = i
+        if chosen < 0:
+            return None
+        stats = state.stats
+        if requesting > 1:
+            stats.arbitration_conflicts += 1
+        state.rr[link.name] = (chosen + 1) % num_ports
+        kind, obj = ports[chosen]
+        self._req_dec(state, link)
+        if kind == "nic":
+            queue = state.injection[obj]
+            flit = queue.flits.popleft()
+            if queue.flits:
+                self._req_inc(state, queue.flits[0].next_link)
+            port_label = "nic"
+        else:
+            flit = obj.buffer.popleft()
+            obj.return_credit()
+            if obj.buffer:
+                head = obj.buffer[0]
+                if not head.at_destination:
+                    self._req_inc(state, head.next_link)
+            else:
+                state.buffered.discard(obj)
+            port_label = obj.name
+        flit.hop_index += 1
+        flit.arrival_link = None
+        arrival = link.start_traversal(flit, now)
+        stats.total_flit_hops += 1
+        stats.link_busy_cycles[link.name] = (
+            stats.link_busy_cycles.get(link.name, 0) + link.cycles_per_flit
+        )
+        if self.record_grants:
+            stats.grant_log.setdefault(link.name, []).append(port_label)
+            if link.medium is not None:
+                stats.medium_grant_log.setdefault(
+                    link.medium.name, []
+                ).append(link.name)
+        if link.medium is not None:
+            link.medium.advance_after(link)
+        return arrival
 
-            now += 1
-
-        stats.cycles = now
+    def _finalize(self, state: _RunState, cycles: int) -> SimStats:
+        stats = state.stats
+        stats.cycles = cycles
         stats.messages_delivered = sum(
             1 for m in self.messages.values() if m.delivered
         )
         return stats
+
+    # -- event-driven main loop --------------------------------------------------------
+    def _run(self, max_cycles: int) -> SimStats:
+        state = self._prepare()
+        stats = state.stats
+        if state.remaining == 0:
+            # An empty run is legal and well-defined: no cycles elapse,
+            # nothing is delivered, and the stats come back clean.
+            return self._finalize(state, 0)
+
+        events: list[int] = [m.ready_cycle for m in state.not_injected]
+        heapq.heapify(events)
+        state.ready_heap = sorted(events)
+        arrivals: list[tuple[int, int, Link]] = []
+        now = -1
+
+        while state.remaining > 0:
+            if not events:
+                raise SimulationError(
+                    f"NoC simulation deadlocked at cycle {now} with "
+                    f"{state.remaining} flits outstanding and no pending "
+                    "events — circular dependency or credit starvation"
+                )
+            nxt = heapq.heappop(events)
+            while events and events[0] <= nxt:
+                heapq.heappop(events)
+            if nxt <= now:
+                continue
+            if nxt >= max_cycles:
+                raise SimulationError(
+                    f"NoC simulation exceeded {max_cycles} cycles with "
+                    f"{state.remaining} flits outstanding — deadlock or "
+                    "pathological contention"
+                )
+            stats.idle_cycles_skipped += nxt - now - 1
+            now = nxt
+            stats.events_processed += 1
+            activity = False
+
+            # 1. inject newly eligible messages into their NIC queues.
+            # Eligibility only changes at ready times (heap events) or
+            # after deliveries (deps/barriers), so the scan is gated.
+            ready_heap = state.ready_heap
+            while ready_heap and ready_heap[0] <= now:
+                heapq.heappop(ready_heap)
+                state.inject_dirty = True
+            if state.inject_dirty:
+                state.inject_dirty = False
+                if state.not_injected and self._scan_injections(state, now):
+                    activity = True
+
+            # 2. deliver in-flight flits into downstream buffers
+            while arrivals and arrivals[0][0] <= now:
+                _, _, link = heapq.heappop(arrivals)
+                if self._deliver(link, state, now):
+                    activity = True
+
+            # 3. eject flits that reached their destination (head of FIFO)
+            if state.buffered:
+                for link in sorted(
+                    state.buffered, key=state.pos.__getitem__
+                ):
+                    buf = link.buffer
+                    if buf and buf[0].at_destination:
+                        self._eject(link, state, now)
+                        activity = True
+
+            # 4. switch allocation over requested output links only,
+            # visited in the same global order as the reference loop;
+            # requests revealed mid-step join the worklist when their
+            # position has not been passed yet.
+            if state.requested:
+                worklist: list[tuple[tuple[int, int], int, Link]] = [
+                    (self._arb_sort_key(link, state), state.pos[link], link)
+                    for link in state.requested
+                ]
+                heapq.heapify(worklist)
+                state.arb_heap = worklist
+                visited = state.arb_visited
+                while worklist:
+                    key, _, link = heapq.heappop(worklist)
+                    if link in visited:
+                        continue
+                    visited.add(link)
+                    state.arb_cursor = key
+                    if not link.can_accept(now):
+                        continue
+                    arrival = self._try_grant(link, state, now)
+                    if arrival is None:
+                        continue
+                    activity = True
+                    heapq.heappush(events, link.next_free_cycle)
+                    heapq.heappush(events, arrival)
+                    heapq.heappush(
+                        arrivals, (arrival, state.pos[link], link)
+                    )
+                state.arb_heap = None
+                visited.clear()
+                state.arb_cursor = (-1, -1)
+
+            if activity:
+                # State-driven follow-ups (a freed buffer slot, a new
+                # head flit, a satisfied dependency) can fire next cycle.
+                heapq.heappush(events, now + 1)
+
+        return self._finalize(state, now + 1)
+
+    # -- naive reference loop ------------------------------------------------------------
+    def _run_reference(self, max_cycles: int = 50_000_000) -> SimStats:
+        """The original busy-spinning O(cycles x links) loop.
+
+        Kept as the behavioural oracle for the event-driven loop: it
+        evaluates every link every cycle, and equivalence tests assert
+        its stats match :meth:`run` byte-for-byte.  Both loops share the
+        injection/delivery/ejection/arbitration helpers, so they differ
+        only in *which cycles and links* they visit.
+        """
+        state = self._prepare()
+        stats = state.stats
+        if state.remaining == 0:
+            return self._finalize(state, 0)
+        now = 0
+        while state.remaining > 0:
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"NoC simulation exceeded {max_cycles} cycles with "
+                    f"{state.remaining} flits outstanding — deadlock or "
+                    "pathological contention"
+                )
+            if state.not_injected:
+                self._scan_injections(state, now)
+            for link in state.links:
+                self._deliver(link, state, now)
+            for link in state.links:
+                buf = link.buffer
+                if buf and buf[0].at_destination:
+                    self._eject(link, state, now)
+            for link in self._full_arb_order(state):
+                if link.can_accept(now):
+                    self._try_grant(link, state, now)
+            now += 1
+        stats.events_processed = now
+        return self._finalize(state, now)
 
     # -- helpers -----------------------------------------------------------------------
     def _nic_dpu(self, router: str) -> int:
@@ -230,15 +602,26 @@ class NocSimulator:
         _, r, c, b = router.split(":")
         return self.network.shape.dpu(int(r), int(c), int(b))
 
-    def _account_delivery(self, flit: Flit, now: int, stats: SimStats) -> None:
+    def _account_delivery(
+        self, flit: Flit, now: int, state: _RunState
+    ) -> None:
         message = flit.message
         message.delivered_flits += 1
-        stats.flits_delivered += 1
+        state.stats.flits_delivered += 1
         if self.use_barriers:
             barrier = self._message_barrier.get(message.msg_id, 0)
-            if barrier in self._outstanding:
-                self._outstanding[barrier] -= 1
+            outstanding = state.outstanding
+            if barrier in outstanding:
+                outstanding[barrier] -= 1
+                order = state.barrier_order
+                while (
+                    state.frontier < len(order)
+                    and outstanding[order[state.frontier]] == 0
+                ):
+                    state.frontier += 1
+                    state.inject_dirty = True
         if message.delivered:
             message.complete_cycle = now
             start = message.inject_start_cycle or 0
-            stats.per_message_latency[message.msg_id] = now - start
+            state.stats.per_message_latency[message.msg_id] = now - start
+            state.inject_dirty = True

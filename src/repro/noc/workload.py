@@ -191,4 +191,6 @@ def run_flow_control_comparison(
         results[mode] = stats.cycles
         results[f"{mode}_conflicts"] = stats.arbitration_conflicts
         results[f"{mode}_peak_buffer"] = stats.peak_buffer_occupancy
+        results[f"{mode}_events"] = stats.events_processed
+        results[f"{mode}_idle_skipped"] = stats.idle_cycles_skipped
     return results

@@ -1,0 +1,273 @@
+"""Event-driven cycle loop vs the naive reference loop.
+
+The production loop (:meth:`NocSimulator.run`) fast-forwards between
+heap-scheduled events and only touches routers holding flits; the
+original busy-spinning loop survives as ``_run_reference``.  These
+tests pin their equivalence byte-for-byte — including on randomized
+workloads with dependencies and barriers — plus the precomputed
+barrier-release ordering and the empty/degenerate-run contracts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Shape
+from repro.errors import SimulationError
+from repro.noc import Message, NocNetwork, NocSimulator
+
+COMPARED_FIELDS = (
+    "cycles",
+    "flits_delivered",
+    "messages_delivered",
+    "total_flit_hops",
+    "peak_buffer_occupancy",
+    "arbitration_conflicts",
+    "per_message_latency",
+    "link_busy_cycles",
+    "grant_log",
+    "medium_grant_log",
+)
+
+
+def run_both(network, messages, barriers=None, max_cycles=200_000):
+    """Run the same workload through both loops; return both stats."""
+
+    def one(loop_name):
+        sim = NocSimulator(network, list(messages), record_grants=True)
+        if barriers is not None:
+            sim.set_barriers(barriers)
+        runner = sim.run if loop_name == "event" else sim._run_reference
+        return runner(max_cycles)
+
+    return one("event"), one("reference")
+
+
+def assert_equivalent(network, messages, barriers=None):
+    try:
+        event, reference = run_both(network, messages, barriers)
+    except SimulationError:
+        # If one loop hits the guard (deadlock/max_cycles), both must.
+        sim = NocSimulator(network, list(messages), record_grants=True)
+        if barriers is not None:
+            sim.set_barriers(barriers)
+        with pytest.raises(SimulationError):
+            sim.run(200_000)
+        with pytest.raises(SimulationError):
+            sim._run_reference(200_000)
+        return
+    for name in COMPARED_FIELDS:
+        assert getattr(event, name) == getattr(reference, name), name
+    # The messages themselves saw identical timelines.
+    assert event.events_processed + event.idle_cycles_skipped == event.cycles
+    assert reference.events_processed == reference.cycles
+    assert reference.idle_cycles_skipped == 0
+
+
+class TestEquivalenceDirected:
+    def test_cross_rank_contention(self):
+        shape = Shape(2, 2, 2)
+        net = NocNetwork(shape)
+        n = shape.num_dpus
+        messages = [
+            Message(msg_id=i, src=i % n, dst=(i * 3 + 1) % n or 1,
+                    num_flits=3 + i % 4, ready_cycle=(i * 7) % 50)
+            for i in range(20)
+            if i % n != ((i * 3 + 1) % n or 1)
+        ]
+        assert_equivalent(net, messages)
+
+    def test_dependency_chain(self):
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=0, src=0, dst=1, num_flits=6),
+            Message(msg_id=1, src=1, dst=2, num_flits=6, deps=(0,)),
+            Message(msg_id=2, src=2, dst=3, num_flits=6, deps=(1,)),
+            Message(msg_id=3, src=3, dst=0, num_flits=6, deps=(2,)),
+        ]
+        assert_equivalent(net, messages)
+
+    def test_barriered_generations(self):
+        shape = Shape(2, 2, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=i, src=i % 4, dst=(i + 1) % 4, num_flits=4)
+            for i in range(8)
+        ]
+        barriers = {i: i // 4 for i in range(8)}
+        assert_equivalent(net, messages, barriers)
+
+
+@st.composite
+def random_workload(draw):
+    banks = draw(st.integers(1, 4))
+    chips = draw(st.integers(1, 2))
+    ranks = draw(st.integers(1, 2))
+    shape = Shape(banks, chips, ranks)
+    n = shape.num_dpus
+    if n < 2:
+        banks, n = 2, 2
+        shape = Shape(2, 1, 1)
+    count = draw(st.integers(1, 10))
+    messages = []
+    for msg_id in range(count):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 2))
+        if dst >= src:
+            dst += 1
+        deps = ()
+        if msg_id and draw(st.booleans()):
+            deps = (draw(st.integers(0, msg_id - 1)),)
+        messages.append(
+            Message(
+                msg_id=msg_id,
+                src=src,
+                dst=dst,
+                num_flits=draw(st.integers(1, 5)),
+                ready_cycle=draw(st.integers(0, 60)),
+                deps=deps,
+            )
+        )
+    use_barriers = draw(st.booleans())
+    barriers = None
+    if use_barriers:
+        # Nondecreasing in msg_id, so deps (always to earlier ids)
+        # never point into a later barrier generation.
+        barriers = {m.msg_id: m.msg_id // 3 for m in messages}
+    return shape, messages, barriers
+
+
+class TestEquivalenceRandomized:
+    @settings(max_examples=50, deadline=None)
+    @given(random_workload())
+    def test_event_loop_matches_reference(self, workload):
+        shape, messages, barriers = workload
+        net = NocNetwork(shape)
+        assert_equivalent(net, messages, barriers)
+
+
+class TestBarrierReleaseOrdering:
+    """The O(1) frontier over a precomputed release order must behave
+    exactly like the old per-message scan over every barrier."""
+
+    def test_noncontiguous_barrier_indices(self):
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=0, src=0, dst=1, num_flits=4),
+            Message(msg_id=1, src=1, dst=2, num_flits=4),
+            Message(msg_id=2, src=2, dst=3, num_flits=4),
+        ]
+        sim = NocSimulator(net, messages)
+        sim.set_barriers({0: 2, 1: 5, 2: 9})
+        sim.run()
+        assert messages[1].inject_start_cycle >= messages[0].complete_cycle
+        assert messages[2].inject_start_cycle >= messages[1].complete_cycle
+
+    def test_same_barrier_runs_concurrently(self):
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=0, src=0, dst=1, num_flits=8),
+            Message(msg_id=1, src=2, dst=3, num_flits=8),
+        ]
+        sim = NocSimulator(net, messages)
+        sim.set_barriers({0: 1, 1: 1})
+        sim.run()
+        assert messages[0].inject_start_cycle == messages[1].inject_start_cycle
+
+    def test_uncovered_message_defaults_to_barrier_zero(self):
+        """A message without an explicit barrier injects immediately and
+        contributes no outstanding count — it never gates later barriers
+        (the original scan's semantics, preserved by the frontier)."""
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=0, src=0, dst=1, num_flits=8),
+            Message(msg_id=1, src=1, dst=2, num_flits=2),
+        ]
+        sim = NocSimulator(net, messages)
+        sim.set_barriers({1: 3})
+        sim.run()
+        assert messages[0].inject_start_cycle == 0
+        assert messages[1].inject_start_cycle == 0
+
+    def test_barrier_release_order_is_sorted_not_insertion(self):
+        shape = Shape(4, 1, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=0, src=0, dst=1, num_flits=4),
+            Message(msg_id=1, src=1, dst=2, num_flits=4),
+        ]
+        sim = NocSimulator(net, messages)
+        # Insertion order deliberately reversed vs barrier order.
+        sim.set_barriers({1: 7, 0: 1})
+        sim.run()
+        assert messages[1].inject_start_cycle >= messages[0].complete_cycle
+
+
+class TestDegenerateRuns:
+    def test_empty_run_returns_clean_stats(self):
+        net = NocNetwork(Shape(2, 1, 1))
+        stats = NocSimulator(net, []).run()
+        assert stats.cycles == 0
+        assert stats.flits_delivered == 0
+        assert stats.messages_delivered == 0
+        assert stats.events_processed == 0
+        assert stats.per_message_latency == {}
+
+    def test_empty_reference_run_matches(self):
+        net = NocNetwork(Shape(2, 1, 1))
+        stats = NocSimulator(net, [])._run_reference()
+        assert stats.cycles == 0
+        assert stats.flits_delivered == 0
+
+    def test_zero_flit_message_rejected_at_construction(self):
+        net = NocNetwork(Shape(2, 1, 1))
+        msg = Message(msg_id=0, src=0, dst=1, num_flits=1)
+        msg.num_flits = 0  # mutated after the dataclass validation ran
+        with pytest.raises(SimulationError, match="zero-flit"):
+            NocSimulator(net, [msg])
+
+    def test_unknown_dependency_rejected(self):
+        net = NocNetwork(Shape(2, 1, 1))
+        msg = Message(msg_id=0, src=0, dst=1, num_flits=1, deps=(42,))
+        with pytest.raises(SimulationError, match="unknown"):
+            NocSimulator(net, [msg])
+
+    def test_self_dependency_rejected(self):
+        net = NocNetwork(Shape(2, 1, 1))
+        msg = Message(msg_id=0, src=0, dst=1, num_flits=1, deps=(0,))
+        with pytest.raises(SimulationError, match="itself"):
+            NocSimulator(net, [msg])
+
+    def test_far_future_ready_cycle_hits_guard_without_spinning(self):
+        """The event loop raises on a beyond-max_cycles event instead of
+        busy-spinning its way there."""
+        net = NocNetwork(Shape(2, 1, 1))
+        msg = Message(msg_id=0, src=0, dst=1, num_flits=1,
+                      ready_cycle=10**9)
+        with pytest.raises(SimulationError, match="exceeded"):
+            NocSimulator(net, [msg]).run(max_cycles=1000)
+
+
+class TestEventAccounting:
+    def test_idle_cycles_actually_skipped(self):
+        """A sparse workload (two bursts far apart) must not be walked
+        cycle by cycle."""
+        shape = Shape(2, 1, 1)
+        net = NocNetwork(shape)
+        messages = [
+            Message(msg_id=0, src=0, dst=1, num_flits=2),
+            Message(msg_id=1, src=1, dst=0, num_flits=2,
+                    ready_cycle=50_000),
+        ]
+        stats = NocSimulator(net, messages).run()
+        assert stats.cycles > 50_000
+        assert stats.idle_cycles_skipped > 40_000
+        assert stats.events_processed < 1_000
+        assert (
+            stats.events_processed + stats.idle_cycles_skipped
+            == stats.cycles
+        )
