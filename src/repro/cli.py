@@ -8,10 +8,14 @@ Usage::
     python -m repro run all --jobs 4     # everything, 4 worker processes
     python -m repro run all --no-cache   # recompute, bypass the cache
     python -m repro run fig12 --trace t.json --metrics m.csv
+    python -m repro run fig13 --seed 7   # override every seeded point
     python -m repro cache stats [--json] # what the result cache holds
     python -m repro cache clear          # drop all cached point results
     python -m repro info [--json]        # machine/backend summary
     python -m repro trace allreduce --payload 1MB --out trace.json
+    python -m repro faults list          # named resilience campaigns
+    python -m repro faults run mixed --seed 3 --json
+    python -m repro faults run campaign.json --trials 64
 """
 
 from __future__ import annotations
@@ -132,13 +136,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.clear_cache:
         removed = ResultCache(runner.cache_dir).clear()
         print(f"cleared {removed} cached result(s)", file=sys.stderr)
+    seed = getattr(args, "seed", None)
     instrumentation = _run_instrumentation(args)
     hits = misses = 0
     try:
         with instrumentation.activate():
             for key in keys:
-                with _experiment_span(instrumentation, key):
-                    run = run_experiment(key, runner=runner)
+                with _experiment_span(instrumentation, key, seed=seed):
+                    run = run_experiment(key, runner=runner, seed=seed)
                 print(run.format())
                 print()
                 hits += run.cache_hits
@@ -146,6 +151,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"run failed: {exc}", file=sys.stderr)
         return 1
+    if seed is not None:
+        print(f"seed: {seed}")
     if runner.cache_enabled:
         print(f"cache: {hits} hit(s), {misses} miss(es)")
     return _write_outputs(instrumentation)
@@ -179,13 +186,98 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _experiment_span(instrumentation: Instrumentation, key: str):
+def _experiment_span(
+    instrumentation: Instrumentation, key: str, seed: int | None = None
+):
     if instrumentation.tracer is None:
         from .observability import NULL_SPAN
 
         return NULL_SPAN
+    attrs = {} if seed is None else {"seed": seed}
     return instrumentation.tracer.span(
-        f"experiment/{key}", category="experiment"
+        f"experiment/{key}", category="experiment", **attrs
+    )
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .faults import CAMPAIGN_PRESETS, run_campaign
+
+    if args.faults_command == "list":
+        entries = [
+            {
+                "name": name,
+                "trials": preset.trials,
+                "description": preset.description,
+            }
+            for name, preset in sorted(CAMPAIGN_PRESETS.items())
+        ]
+        if getattr(args, "json", False):
+            print(json.dumps({"campaigns": entries}, indent=1))
+            return 0
+        print("available fault campaigns:")
+        for entry in entries:
+            print(f"  {entry['name']:16s} {entry['description']}")
+        print("(or pass a JSON campaign file; see docs/FAULTS.md)")
+        return 0
+
+    try:
+        campaign = _resolve_campaign(args.campaign)
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.trials is not None:
+            overrides["trials"] = args.trials
+        if args.payload is not None:
+            overrides["payload_bytes"] = parse_bytes(args.payload)
+        if overrides:
+            campaign = replace(campaign, **overrides)
+        result = run_campaign(campaign, pimnet_sim_system())
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"faults run failed: {exc}", file=sys.stderr)
+        return 1
+    summary = result.summary()
+    if getattr(args, "json", False):
+        summary["seed"] = campaign.seed
+        print(json.dumps(summary, indent=1))
+        return 0
+    print(
+        f"campaign {summary['name']!r}: {summary['trials']} trials, "
+        f"seed {campaign.seed}"
+    )
+    print(
+        f"  completed {summary['completed']}, "
+        f"degraded {summary['degraded']}, aborted {summary['aborted']} "
+        f"(completion rate {summary['completion_rate'] * 100:.1f}%)"
+    )
+    print(
+        f"  mean bandwidth "
+        f"{summary['mean_bandwidth_bytes_per_s'] / 1e9:.4f} GB/s, "
+        f"mean retries {summary['mean_retries']:.1f}"
+    )
+    print(
+        f"  latency p50 {summary['p50_latency_s'] * 1e6:.1f} us, "
+        f"p99 {summary['p99_latency_s'] * 1e6:.1f} us, "
+        f"p999 {summary['p999_latency_s'] * 1e6:.1f} us"
+    )
+    return 0
+
+
+def _resolve_campaign(ref: str):
+    """A preset name, or a path to a JSON campaign spec."""
+    from .config.faults import FaultCampaignConfig
+    from .faults import CAMPAIGN_PRESETS
+
+    if ref in CAMPAIGN_PRESETS:
+        return CAMPAIGN_PRESETS[ref]
+    if ref.endswith(".json"):
+        with open(ref, encoding="utf-8") as handle:
+            return FaultCampaignConfig.from_dict(json.load(handle))
+    raise ValueError(
+        f"unknown campaign {ref!r} "
+        f"(presets: {', '.join(sorted(CAMPAIGN_PRESETS))}; "
+        "or pass a .json campaign file)"
     )
 
 
@@ -386,6 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point timeout when running in parallel",
     )
     p_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the 'seed' param of every seeded sweep point; "
+        "recorded in the run output and trace metadata",
+    )
+    p_run.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -481,6 +581,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the span-tree dump on stdout",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="run deterministic fault-injection campaigns",
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_faults_list = faults_sub.add_parser(
+        "list", help="enumerate the named campaign presets"
+    )
+    p_faults_list.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_faults_list.set_defaults(func=cmd_faults)
+    p_faults_run = faults_sub.add_parser(
+        "run", help="run one campaign (preset name or JSON spec file)"
+    )
+    p_faults_run.add_argument(
+        "campaign",
+        help="preset name (see 'repro faults list') or path to a "
+        ".json campaign spec (format: docs/FAULTS.md)",
+    )
+    p_faults_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the campaign seed",
+    )
+    p_faults_run.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the campaign trial count",
+    )
+    p_faults_run.add_argument(
+        "--payload",
+        default=None,
+        metavar="SIZE",
+        help="override the payload, e.g. 64KB or 1MB (binary units)",
+    )
+    p_faults_run.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_faults_run.set_defaults(func=cmd_faults)
     return parser
 
 

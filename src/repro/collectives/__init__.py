@@ -30,7 +30,12 @@ from .patterns import (
     REDUCING_PATTERNS,
     ReduceOp,
 )
-from .result import CollectiveResult, CommBreakdown, CommStats
+from .result import (
+    COLLECTIVE_STATUSES,
+    CollectiveResult,
+    CommBreakdown,
+    CommStats,
+)
 
 __all__ = [
     "BackendRegistry",
@@ -49,6 +54,7 @@ __all__ = [
     "CollectiveRequest",
     "REDUCING_PATTERNS",
     "ReduceOp",
+    "COLLECTIVE_STATUSES",
     "CollectiveResult",
     "CommBreakdown",
     "CommStats",

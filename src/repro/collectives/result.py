@@ -56,17 +56,52 @@ class CommBreakdown:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
+#: Valid values of :attr:`CollectiveResult.status`.
+COLLECTIVE_STATUSES = ("completed", "degraded", "aborted")
+
+
 @dataclass(frozen=True)
 class CollectiveResult:
-    """Timing plus (optionally) the functional outputs of one collective."""
+    """Timing plus (optionally) the functional outputs of one collective.
+
+    The resilience fields report how the collective fared under fault
+    injection (:mod:`repro.faults`): ``status`` is ``"completed"`` on
+    the fault-free path, ``"degraded"`` when the collective finished but
+    paid a fault cost (stragglers, retransmissions, stalls), and
+    ``"aborted"`` when a fail-stopped component made the static schedule
+    infeasible.  ``retries`` counts retry/backoff rounds,
+    ``fault_time_s`` the seconds the breakdown grew because of faults,
+    and ``critical_node`` names the component that set the critical path
+    (the straggler or the dead component detected by the sync tree).
+    """
 
     breakdown: CommBreakdown
     outputs: list[np.ndarray] | None = None
     backend_name: str = ""
+    status: str = "completed"
+    retries: int = 0
+    fault_time_s: float = 0.0
+    critical_node: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in COLLECTIVE_STATUSES:
+            raise CollectiveError(
+                f"status must be one of {COLLECTIVE_STATUSES}, "
+                f"got {self.status!r}"
+            )
+        if self.retries < 0:
+            raise CollectiveError("retries must be >= 0")
+        if self.fault_time_s < 0:
+            raise CollectiveError("fault_time_s must be >= 0")
 
     @property
     def time_s(self) -> float:
         return self.breakdown.total_s
+
+    @property
+    def completed(self) -> bool:
+        """Whether the collective delivered its result (possibly late)."""
+        return self.status != "aborted"
 
 
 @dataclass

@@ -22,6 +22,11 @@ from .network import (
     PimnetNetworkConfig,
     TierLinkConfig,
 )
+from .faults import (
+    FAULT_KINDS,
+    FaultCampaignConfig,
+    FaultModelConfig,
+)
 from .presets import (
     MachineConfig,
     pimnet_sim_system,
@@ -46,6 +51,9 @@ __all__ = [
     "HostLinkConfig",
     "PimnetNetworkConfig",
     "TierLinkConfig",
+    "FAULT_KINDS",
+    "FaultCampaignConfig",
+    "FaultModelConfig",
     "MachineConfig",
     "pimnet_sim_system",
     "small_test_system",

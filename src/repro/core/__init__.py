@@ -53,12 +53,13 @@ from .schedule import (
     schedule_timing,
 )
 from .stop import PimnetStopSpec, SwitchSpec
-from .sync import SyncTree
+from .sync import SyncReport, SyncTree
 from .timeline import (
     CollectiveTimeline,
     TimelineEntry,
     allreduce_timeline,
     format_timeline,
+    propagate_stragglers,
 )
 from .timing import PimnetTimingModel, TierTimes
 from .validate import (
@@ -108,11 +109,13 @@ __all__ = [
     "schedule_timing",
     "PimnetStopSpec",
     "SwitchSpec",
+    "SyncReport",
     "SyncTree",
     "CollectiveTimeline",
     "TimelineEntry",
     "allreduce_timeline",
     "format_timeline",
+    "propagate_stragglers",
     "PimnetTimingModel",
     "TierTimes",
     "validate_bounds",

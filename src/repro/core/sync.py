@@ -11,10 +11,30 @@ that changes tiers (each WAIT in Fig 5(c)).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from ..config.network import PimnetNetworkConfig
 from ..config.system import PimSystemConfig
 from ..errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """One READY/START round trip, with its critical path named.
+
+    ``critical_node`` is the component whose READY arrived last (the
+    straggler that set the round-trip time), using the fault-target
+    naming scheme (``bank:{r}:{c}:{b}``); it is empty when no node was
+    delayed, i.e. the propagation latency itself was the critical path.
+    ``timed_out`` is set when the round trip exceeded ``timeout_s`` —
+    the controller-side detection signal for a fail-stopped node whose
+    READY never arrives.
+    """
+
+    latency_s: float
+    critical_node: str = ""
+    critical_delay_s: float = 0.0
+    timed_out: bool = False
 
 
 @dataclass(frozen=True)
@@ -59,3 +79,42 @@ class SyncTree:
         if num_phases < 0:
             raise ScheduleError("phase count must be >= 0")
         return num_phases * self.round_trip_latency_s()
+
+    def round_trip_report(
+        self,
+        levels: int | None = None,
+        node_delays: Mapping[str, float] | None = None,
+        timeout_s: float | None = None,
+    ) -> SyncReport:
+        """One round trip under per-node READY delays, critical path named.
+
+        ``node_delays`` maps component names to the extra seconds each
+        node took before sending READY (straggler jitter; a
+        fail-stopped node is modeled as a delay beyond ``timeout_s``).
+        The aggregation waits for the *last* READY, so the round trip
+        pays the maximum delay, and the report names which node that
+        was — the piece a plain latency number loses, and exactly what
+        a fault report needs to blame the right DIMM.  Ties break
+        lexicographically so reports are deterministic.
+        """
+        base = self.round_trip_latency_s(levels)
+        critical_node = ""
+        critical_delay = 0.0
+        if node_delays:
+            for name in sorted(node_delays):
+                delay = node_delays[name]
+                if delay < 0:
+                    raise ScheduleError(
+                        f"negative READY delay for node {name!r}"
+                    )
+                if delay > critical_delay:
+                    critical_node = name
+                    critical_delay = delay
+        latency = base + critical_delay
+        timed_out = timeout_s is not None and latency > timeout_s
+        return SyncReport(
+            latency_s=latency,
+            critical_node=critical_node,
+            critical_delay_s=critical_delay,
+            timed_out=timed_out,
+        )

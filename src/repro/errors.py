@@ -69,6 +69,20 @@ class ObservabilityError(ReproError):
     """The tracing or metrics layer was used inconsistently."""
 
 
+class FaultError(ReproError):
+    """The fault-injection engine reached an inconsistent state."""
+
+
+class FaultConfigError(FaultError):
+    """A fault model or campaign spec is invalid for the machine.
+
+    Raised eagerly — when the spec is built or bound to a machine — so a
+    campaign referencing components outside the topology fails before
+    any sweep point runs, matching the eager-validation discipline of
+    :class:`repro.experiments.common.ExperimentTable`.
+    """
+
+
 class RunnerError(ReproError):
     """The parallel experiment runner was misconfigured or misused."""
 

@@ -7,6 +7,7 @@ Every module exposes ``run(...) -> result`` and ``format_table(result)
 from . import (
     ablations,
     characterization,
+    fault_sweep,
     fig02_roofline,
     fig03_motivation,
     fig10_applications,
@@ -20,6 +21,7 @@ from . import (
     hw_overhead,
     message_size_sweep,
     noc_load_latency,
+    straggler_tail,
     table04_tiers,
     table05_algorithms,
 )
@@ -44,13 +46,17 @@ EXPERIMENTS = {
     "size_sweep": message_size_sweep,
     "characterization": characterization,
     "noc_load_latency": noc_load_latency,
+    "fault_sweep": fault_sweep,
+    "straggler_tail": straggler_tail,
 }
 
 __all__ = [
     "EXPERIMENTS",
     "ablations",
     "characterization",
+    "fault_sweep",
     "noc_load_latency",
+    "straggler_tail",
     "ExperimentTable",
     "SCALING_DPU_COUNTS",
     "scaled_machine",

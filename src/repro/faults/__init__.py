@@ -1,0 +1,73 @@
+"""Deterministic fault injection and resilience campaigns.
+
+The paper's fabric is buffer-less and statically scheduled, so its
+failure modes are unusually sharp: a dead DPU makes a schedule
+*infeasible* (there is no routing freedom to mask it), while a slow DPU
+drags every bulk-synchronous phase behind it.  This package models both,
+plus link degradation, bus stalls, and transient flit corruption, across
+all three tiers — and does it reproducibly: every fault set is a pure
+function of ``(seed, machine config, campaign spec)``.
+
+Layers:
+
+* :mod:`repro.faults.model` — seeded sampling of concrete fault sets,
+  with common-random-numbers nesting so fault-rate sweeps are monotone;
+* :mod:`repro.faults.engine` — closed-form degraded
+  :class:`~repro.collectives.CollectiveResult` per trial;
+* :mod:`repro.faults.inject` — lowering onto the cycle-level NoC
+  simulator (outage windows, serialization factors, corruption coins)
+  and static-schedule feasibility checks;
+* :mod:`repro.faults.campaign` — many-trial campaigns with degradation
+  statistics (completion rate, bandwidth, tail latencies).
+
+With no faults configured, every hook is a strict no-op: fault-free
+results stay byte-for-byte identical to a build without this package.
+"""
+
+from .campaign import (
+    CAMPAIGN_PRESETS,
+    CampaignResult,
+    TrialOutcome,
+    percentile,
+    run_campaign,
+    trial_seed,
+)
+from .engine import collective_under_faults
+from .inject import (
+    NocFaultPlan,
+    apply_noc_faults,
+    build_noc_fault_plan,
+    check_degraded_schedule,
+    clear_noc_faults,
+)
+from .model import (
+    FaultEvent,
+    FaultSet,
+    bank_name,
+    chip_name,
+    component_rng,
+    corruption_uniforms,
+    sample_fault_set,
+)
+
+__all__ = [
+    "CAMPAIGN_PRESETS",
+    "CampaignResult",
+    "TrialOutcome",
+    "percentile",
+    "run_campaign",
+    "trial_seed",
+    "collective_under_faults",
+    "NocFaultPlan",
+    "apply_noc_faults",
+    "build_noc_fault_plan",
+    "check_degraded_schedule",
+    "clear_noc_faults",
+    "FaultEvent",
+    "FaultSet",
+    "bank_name",
+    "chip_name",
+    "component_rng",
+    "corruption_uniforms",
+    "sample_fault_set",
+]

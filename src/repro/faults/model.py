@@ -1,0 +1,241 @@
+"""Deterministic fault sampling: (seed, machine, spec) -> FaultSet.
+
+The sampler is built for *campaign sweeps*: uniform draws are made for
+every component in a fixed topology order regardless of the configured
+rates, and a component is faulty at rate ``r`` exactly when its draw
+falls below ``r``.  Two consequences, both load-bearing:
+
+* **Reproducibility** — the same ``(seed, machine shape, model)``
+  always yields the same :class:`FaultSet`; no wall-clock state exists
+  anywhere in the pipeline.
+* **Nesting (common random numbers)** — raising a rate can only *add*
+  faults, never swap them, so degradation curves produced by sweeping
+  ``FaultModelConfig.scaled`` are monotone by construction rather than
+  by statistical accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config.faults import FAULT_KINDS, FaultModelConfig
+from ..config.system import PimSystemConfig
+from ..errors import FaultConfigError, FaultError
+
+#: Sub-stream tags so different draw families never share RNG state.
+_STREAM_COMPONENTS = 0x7A11
+_STREAM_CORRUPTION = 0x7A12
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete injected fault.
+
+    ``component`` uses the config-layer naming scheme
+    (``bank:{r}:{c}:{b}``, ``chip:{r}:{c}``, ``rank:{r}``, ``bus``);
+    ``severity`` is the kind-specific multiplier (straggler slowdown,
+    link serialization factor) or duration scale (bus stalls).
+    """
+
+    kind: str
+    component: str
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {FAULT_KINDS})"
+            )
+        if self.severity < 0:
+            raise FaultConfigError("fault severity must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """The concrete faults of one trial, plus cheap accessors."""
+
+    events: tuple[FaultEvent, ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def of_kind(self, kind: str) -> tuple[FaultEvent, ...]:
+        if kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {kind!r}")
+        return tuple(e for e in self.events if e.kind == kind)
+
+    # -- tier views ---------------------------------------------------------
+    @property
+    def dead_banks(self) -> tuple[str, ...]:
+        return tuple(
+            e.component for e in self.of_kind("bank_fail_stop")
+        )
+
+    @property
+    def failed_chip_links(self) -> tuple[str, ...]:
+        return tuple(
+            e.component for e in self.of_kind("chip_link_failed")
+        )
+
+    @property
+    def straggler_multipliers(self) -> dict[str, float]:
+        """bank component name -> slowdown multiplier (>= 1)."""
+        return {
+            e.component: e.severity
+            for e in self.of_kind("bank_straggler")
+        }
+
+    @property
+    def max_straggler_multiplier(self) -> float:
+        return max(
+            (e.severity for e in self.of_kind("bank_straggler")),
+            default=1.0,
+        )
+
+    @property
+    def degraded_chip_links(self) -> dict[str, float]:
+        """chip component name -> serialization factor (>= 1)."""
+        return {
+            e.component: e.severity
+            for e in self.of_kind("chip_link_degraded")
+        }
+
+    @property
+    def bus_stalls(self) -> int:
+        return len(self.of_kind("rank_bus_stall"))
+
+    @property
+    def fatal(self) -> bool:
+        """Whether a statically scheduled collective cannot complete."""
+        return bool(self.dead_banks or self.failed_chip_links)
+
+
+def bank_name(r: int, c: int, b: int) -> str:
+    return f"bank:{r}:{c}:{b}"
+
+
+def chip_name(r: int, c: int) -> str:
+    return f"chip:{r}:{c}"
+
+
+def iter_banks(system: PimSystemConfig):
+    """(r, c, b) triples in the fixed topology (draw) order."""
+    for r in range(system.ranks_per_channel):
+        for c in range(system.chips_per_rank):
+            for b in range(system.banks_per_chip):
+                yield r, c, b
+
+
+def iter_chips(system: PimSystemConfig):
+    for r in range(system.ranks_per_channel):
+        for c in range(system.chips_per_rank):
+            yield r, c
+
+
+def component_rng(seed: int, stream: int = _STREAM_COMPONENTS):
+    """The seeded generator for one draw family of one trial."""
+    if seed < 0:
+        raise FaultConfigError(f"seed must be >= 0, got {seed}")
+    return np.random.default_rng((seed, stream))
+
+
+def corruption_uniforms(seed: int, num_flits: int) -> np.ndarray:
+    """Per-flit uniforms shared by every rate point of a sweep.
+
+    The closed-form engine counts ``(u < rate)`` against these, so the
+    corrupted-flit count is non-decreasing in the rate — the same
+    nesting trick the component sampler uses.
+    """
+    if num_flits < 0:
+        raise FaultError("flit count must be >= 0")
+    return component_rng(seed, _STREAM_CORRUPTION).random(num_flits)
+
+
+def sample_fault_set(
+    model: FaultModelConfig,
+    system: PimSystemConfig,
+    seed: int,
+    targets: tuple[str, ...] = (),
+) -> FaultSet:
+    """Sample the concrete faults of one trial.
+
+    Draw order is fixed by the topology (banks first, then chips, then
+    the bus) and every draw happens whether or not its rate is zero, so
+    fault sets at different rates of the same seed are *nested*.
+    ``targets`` adds forced faults on named components (a known-bad
+    DIMM, a marginal link) on top of the sampled ones: banks and ranks
+    fail-stop, chips lose their DQ link, and ``bus`` stalls.
+    """
+    rng = component_rng(seed)
+    events: list[FaultEvent] = []
+
+    for r, c, b in iter_banks(system):
+        u_fail = rng.random()
+        u_straggle = rng.random()
+        v_severity = rng.random()
+        if u_fail < model.bank_fail_stop_rate:
+            events.append(
+                FaultEvent("bank_fail_stop", bank_name(r, c, b))
+            )
+        if u_straggle < model.bank_straggler_rate:
+            severity = 1.0 + (model.straggler_severity - 1.0) * (
+                0.5 + 0.5 * v_severity
+            )
+            events.append(
+                FaultEvent("bank_straggler", bank_name(r, c, b), severity)
+            )
+
+    for r, c in iter_chips(system):
+        u_fail = rng.random()
+        u_degrade = rng.random()
+        if u_fail < model.chip_link_fail_rate:
+            events.append(
+                FaultEvent("chip_link_failed", chip_name(r, c))
+            )
+        elif u_degrade < model.chip_link_degrade_rate:
+            events.append(
+                FaultEvent(
+                    "chip_link_degraded",
+                    chip_name(r, c),
+                    model.chip_link_degrade_factor,
+                )
+            )
+
+    u_bus = rng.random()
+    if u_bus < model.rank_bus_stall_rate:
+        events.append(FaultEvent("rank_bus_stall", "bus"))
+
+    events.extend(_forced_events(targets, system, model))
+    # Deterministic presentation order, independent of draw order.
+    events.sort(key=lambda e: (e.kind, e.component))
+    return FaultSet(events=tuple(dict.fromkeys(events)))
+
+
+def _forced_events(
+    targets: tuple[str, ...],
+    system: PimSystemConfig,
+    model: FaultModelConfig,
+) -> list[FaultEvent]:
+    """Pinned faults for explicitly named components."""
+    events: list[FaultEvent] = []
+    for target in targets:
+        kind = target.split(":")[0]
+        if kind == "bank":
+            events.append(FaultEvent("bank_fail_stop", target))
+        elif kind == "chip":
+            events.append(FaultEvent("chip_link_failed", target))
+        elif kind == "rank":
+            r = int(target.split(":")[1])
+            for c in range(system.chips_per_rank):
+                for b in range(system.banks_per_chip):
+                    events.append(
+                        FaultEvent("bank_fail_stop", bank_name(r, c, b))
+                    )
+        elif kind == "bus":
+            events.append(FaultEvent("rank_bus_stall", "bus"))
+        else:  # pragma: no cover - config layer validates first
+            raise FaultConfigError(f"unknown target kind in {target!r}")
+    return events

@@ -39,7 +39,12 @@ _UNSET = object()
 
 @dataclass(frozen=True)
 class ExperimentRun:
-    """One executed experiment: its tables plus how they were obtained."""
+    """One executed experiment: its tables plus how they were obtained.
+
+    ``seed`` records the global seed override the run was executed
+    under (``repro run --seed``); ``None`` means every seeded point
+    used its registered default.
+    """
 
     experiment_id: str
     tables: tuple["ExperimentTable", ...]
@@ -47,6 +52,7 @@ class ExperimentRun:
     cache_hits: int
     cache_misses: int
     elapsed_s: float
+    seed: int | None = None
 
     def format(self) -> str:
         return "\n\n".join(table.format() for table in self.tables)
@@ -56,14 +62,30 @@ def run_experiment(
     experiment_id: str,
     machine: "MachineConfig | None" = None,
     runner: RunnerConfig | None = None,
+    seed: int | None = None,
 ) -> ExperimentRun:
-    """Execute one registered experiment under ``runner``'s policy."""
+    """Execute one registered experiment under ``runner``'s policy.
+
+    ``seed`` overrides the ``"seed"`` param of every sweep point that
+    has one (experiments without a seeded point are unaffected).  The
+    override flows through ``point.params`` into the cache key, so runs
+    at different seeds never collide in the cache.
+    """
     runner = runner or RunnerConfig()
     spec = REGISTRY.get(experiment_id)
     if machine is None:
         machine = _default_machine()
     start = time.perf_counter()
     points = _checked_points(spec, machine)
+    if seed is not None:
+        if seed < 0:
+            raise RunnerError(f"seed must be >= 0, got {seed}")
+        points = tuple(
+            SweepPoint(p.index, {**p.params, "seed": seed})
+            if "seed" in p.params
+            else p
+            for p in points
+        )
     values: list[Any] = [_UNSET] * len(points)
 
     cache = ResultCache(runner.cache_dir) if runner.cache_enabled else None
@@ -105,6 +127,7 @@ def run_experiment(
         cache_hits=hits,
         cache_misses=len(pending),
         elapsed_s=time.perf_counter() - start,
+        seed=seed,
     )
 
 
@@ -112,13 +135,14 @@ def run_experiments(
     experiment_ids: Sequence[str],
     machine: "MachineConfig | None" = None,
     runner: RunnerConfig | None = None,
+    seed: int | None = None,
 ) -> tuple[ExperimentRun, ...]:
     """Execute several experiments in the given order, one shared machine."""
     if machine is None:
         machine = _default_machine()
     runner = runner or RunnerConfig()
     return tuple(
-        run_experiment(experiment_id, machine, runner)
+        run_experiment(experiment_id, machine, runner, seed=seed)
         for experiment_id in experiment_ids
     )
 

@@ -75,6 +75,82 @@ class TestRun:
         assert "cache: 0 hit(s), 1 miss(es)" in captured.out
 
 
+class TestRunSeed:
+    def test_seed_is_echoed_and_changes_nothing_for_unseeded(
+        self, capsys
+    ):
+        assert main(["run", "table05", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert "seed:" not in plain
+        assert main(["run", "table05", "--no-cache", "--seed", "3"]) == 0
+        seeded = capsys.readouterr().out
+        assert "seed: 3" in seeded
+        # table05 has no seeded points; the tables are identical.
+        assert seeded.split("seed:")[0].strip() == plain.strip()
+
+
+class TestFaults:
+    def test_list_names_every_preset(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stragglers", "fail-stop", "mixed", "corruption"):
+            assert name in out
+
+    def test_list_json(self, capsys):
+        assert main(["faults", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {c["name"] for c in payload["campaigns"]}
+        assert {"stragglers", "mixed", "fail-stop"} <= names
+
+    def test_run_preset_prints_summary(self, capsys):
+        assert main(["faults", "run", "stragglers", "--trials", "2",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'stragglers': 2 trials, seed 5" in out
+        assert "completion rate" in out
+        assert "p50" in out
+
+    def test_run_json_is_deterministic(self, capsys):
+        argv = ["faults", "run", "bus-stalls", "--trials", "2",
+                "--seed", "1", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["seed"] == 1
+        assert first["trials"] == 2
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "campaign.json"
+        spec.write_text(json.dumps({
+            "name": "from-file",
+            "trials": 2,
+            "payload_bytes": 65536,
+            "model": {"bank_straggler_rate": 0.5,
+                      "straggler_severity": 2.0},
+        }))
+        assert main(["faults", "run", str(spec), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "from-file"
+        assert payload["trials"] == 2
+
+    def test_unknown_campaign_fails(self, capsys):
+        assert main(["faults", "run", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert "bogus" in err
+
+    def test_bad_spec_file_fails_cleanly(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"name": "x", "warp_factor": 9}))
+        assert main(["faults", "run", str(spec)]) == 1
+        assert "warp_factor" in capsys.readouterr().err
+
+    def test_bad_payload_override_fails(self, capsys):
+        assert main(["faults", "run", "stragglers",
+                     "--payload", "12XB"]) == 1
+
+
 class TestCacheCommand:
     def test_stats_on_empty_cache(self, tmp_path, capsys):
         assert main(["cache", "stats", "--cache-dir",

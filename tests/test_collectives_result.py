@@ -58,3 +58,38 @@ class TestCommStats:
         result = CollectiveResult(breakdown=CommBreakdown(sync_s=1e-6))
         assert result.time_s == pytest.approx(1e-6)
         assert result.outputs is None
+
+
+class TestResilienceFields:
+    def test_defaults_describe_a_clean_run(self):
+        result = CollectiveResult(breakdown=CommBreakdown())
+        assert result.status == "completed"
+        assert result.completed
+        assert result.retries == 0
+        assert result.fault_time_s == 0.0
+        assert result.critical_node == ""
+
+    def test_aborted_is_not_completed(self):
+        result = CollectiveResult(
+            breakdown=CommBreakdown(), status="aborted",
+            critical_node="bank:0:0:0",
+        )
+        assert not result.completed
+
+    def test_degraded_still_delivers(self):
+        result = CollectiveResult(
+            breakdown=CommBreakdown(), status="degraded", retries=3,
+        )
+        assert result.completed
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(CollectiveError, match="status"):
+            CollectiveResult(breakdown=CommBreakdown(), status="on-fire")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(CollectiveError):
+            CollectiveResult(breakdown=CommBreakdown(), retries=-1)
+
+    def test_negative_fault_time_rejected(self):
+        with pytest.raises(CollectiveError):
+            CollectiveResult(breakdown=CommBreakdown(), fault_time_s=-1.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import PimSystemConfig, PimnetNetworkConfig
-from repro.core import SyncTree
+from repro.core import SyncReport, SyncTree
 from repro.errors import ScheduleError
 
 
@@ -71,3 +71,59 @@ class TestPhaseCost:
         sync = tree().round_trip_latency_s()
         thousand_cycles = 1000 / 350e6
         assert sync < thousand_cycles / 50
+
+
+class TestRoundTripReport:
+    """Satellite of ``repro.faults``: the report names which node's
+    late READY set the round-trip time."""
+
+    def test_no_delays_matches_plain_latency(self):
+        t = tree()
+        report = t.round_trip_report()
+        assert isinstance(report, SyncReport)
+        assert report.latency_s == t.round_trip_latency_s()
+        assert report.critical_node == ""
+        assert report.critical_delay_s == 0.0
+        assert not report.timed_out
+
+    def test_slowest_node_named(self):
+        report = tree().round_trip_report(node_delays={
+            "bank:0:0:1": 2e-6,
+            "bank:1:3:0": 9e-6,
+            "bank:0:2:2": 4e-6,
+        })
+        assert report.critical_node == "bank:1:3:0"
+        assert report.critical_delay_s == pytest.approx(9e-6)
+        assert report.latency_s == pytest.approx(
+            tree().round_trip_latency_s() + 9e-6
+        )
+
+    def test_ties_break_lexicographically(self):
+        report = tree().round_trip_report(node_delays={
+            "bank:1:0:0": 5e-6,
+            "bank:0:0:0": 5e-6,
+        })
+        assert report.critical_node == "bank:0:0:0"
+
+    def test_zero_delays_leave_critical_path_unnamed(self):
+        report = tree().round_trip_report(
+            node_delays={"bank:0:0:0": 0.0}
+        )
+        assert report.critical_node == ""
+
+    def test_timeout_flags_detection(self):
+        report = tree().round_trip_report(
+            node_delays={"bank:0:0:0": 200e-6}, timeout_s=100e-6
+        )
+        assert report.timed_out
+        assert report.critical_node == "bank:0:0:0"
+
+    def test_within_timeout_not_flagged(self):
+        report = tree().round_trip_report(
+            node_delays={"bank:0:0:0": 1e-6}, timeout_s=100e-6
+        )
+        assert not report.timed_out
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ScheduleError, match="negative"):
+            tree().round_trip_report(node_delays={"bank:0:0:0": -1e-9})

@@ -1,0 +1,162 @@
+"""Campaign runner: trial seeding, percentile math, presets, and the
+reproducibility contract (seed + config -> identical results)."""
+
+import pytest
+
+from repro.config import (
+    FaultCampaignConfig,
+    FaultModelConfig,
+    pimnet_sim_system,
+    small_test_system,
+)
+from repro.errors import FaultConfigError, FaultError
+from repro.faults import (
+    CAMPAIGN_PRESETS,
+    percentile,
+    run_campaign,
+    trial_seed,
+)
+
+
+def campaign(trials=6, seed=3, **model_kwargs) -> FaultCampaignConfig:
+    return FaultCampaignConfig(
+        name="test",
+        model=FaultModelConfig(**model_kwargs),
+        seed=seed,
+        trials=trials,
+        payload_bytes=1 << 16,
+    )
+
+
+class TestTrialSeed:
+    def test_pure_arithmetic(self):
+        assert trial_seed(0, 0) == 0
+        assert trial_seed(0, 5) == 5
+        assert trial_seed(2, 1) == trial_seed(2, 0) + 1
+
+    def test_nearby_campaign_seeds_never_collide(self):
+        a = {trial_seed(1, t) for t in range(1000)}
+        b = {trial_seed(2, t) for t in range(1000)}
+        assert not a & b
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(FaultError):
+            trial_seed(-1, 0)
+        with pytest.raises(FaultError):
+            trial_seed(0, -1)
+
+
+class TestPercentile:
+    def test_nearest_rank_on_known_values(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50.0) == 20.0
+        assert percentile(values, 75.0) == 30.0
+        assert percentile(values, 100.0) == 40.0
+        assert percentile(values, 1.0) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    @pytest.mark.parametrize("q", [0.0, -5.0, 101.0])
+    def test_out_of_range_q_rejected(self, q):
+        with pytest.raises(FaultError):
+            percentile([1.0], q)
+
+
+class TestRunCampaign:
+    def test_same_seed_and_config_identical_results(self, tiny_machine):
+        spec = campaign(bank_straggler_rate=0.5, straggler_severity=3.0)
+        assert run_campaign(spec, tiny_machine) == run_campaign(
+            spec, tiny_machine
+        )
+
+    def test_different_seeds_decorrelate(self, tiny_machine):
+        a = run_campaign(
+            campaign(seed=1, bank_straggler_rate=0.5), tiny_machine
+        )
+        b = run_campaign(
+            campaign(seed=2, bank_straggler_rate=0.5), tiny_machine
+        )
+        assert a != b
+
+    def test_fault_free_campaign_all_completed(self, tiny_machine):
+        result = run_campaign(campaign(), tiny_machine)
+        assert result.completed == len(result.trials) == 6
+        assert result.completion_rate == 1.0
+        assert result.mean_bandwidth_bytes_per_s > 0
+        assert all(t.retries == 0 for t in result.trials)
+
+    def test_forced_fail_stop_aborts_every_trial(self, tiny_machine):
+        spec = FaultCampaignConfig(
+            name="dead-dimm",
+            trials=3,
+            payload_bytes=1 << 16,
+            targets=("bank:0:0:0",),
+        )
+        result = run_campaign(spec, tiny_machine)
+        assert result.aborted == 3
+        assert result.completion_rate == 0.0
+        assert result.mean_bandwidth_bytes_per_s == 0.0
+        assert result.latency_percentile_s(99.0) == 0.0
+        assert all(
+            t.critical_node == "bank:0:0:0" for t in result.trials
+        )
+
+    def test_out_of_topology_target_rejected_before_any_trial(
+        self, tiny_machine
+    ):
+        spec = FaultCampaignConfig(
+            name="wrong-machine", targets=("bank:7:0:0",)
+        )
+        with pytest.raises(FaultConfigError, match="out of range"):
+            run_campaign(spec, tiny_machine)
+
+    def test_summary_shape(self, tiny_machine):
+        summary = run_campaign(
+            campaign(bank_straggler_rate=0.5), tiny_machine
+        ).summary()
+        assert summary["trials"] == 6
+        assert (
+            summary["completed"]
+            + summary["degraded"]
+            + summary["aborted"]
+            == 6
+        )
+        assert 0.0 <= summary["completion_rate"] <= 1.0
+        assert (
+            summary["p50_latency_s"]
+            <= summary["p99_latency_s"]
+            <= summary["p999_latency_s"]
+        )
+
+
+class TestPresets:
+    def test_names_match_keys(self):
+        for name, preset in CAMPAIGN_PRESETS.items():
+            assert preset.name == name
+            assert preset.description
+
+    def test_presets_valid_on_the_paper_machine(self):
+        system = pimnet_sim_system().system
+        for preset in CAMPAIGN_PRESETS.values():
+            preset.validate_for(system)  # no raise
+
+    def test_every_fault_family_has_a_preset(self):
+        models = [p.model for p in CAMPAIGN_PRESETS.values()]
+        assert any(m.bank_straggler_rate > 0 for m in models)
+        assert any(m.chip_link_degrade_rate > 0 for m in models)
+        assert any(m.rank_bus_stall_rate > 0 for m in models)
+        assert any(m.flit_corruption_rate > 0 for m in models)
+        assert any(m.bank_fail_stop_rate > 0 for m in models)
+
+    def test_stragglers_preset_runs_on_the_small_machine(self):
+        import dataclasses
+
+        preset = dataclasses.replace(
+            CAMPAIGN_PRESETS["stragglers"], trials=4
+        )
+        result = run_campaign(preset, small_test_system())
+        assert len(result.trials) == 4

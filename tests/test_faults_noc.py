@@ -1,0 +1,285 @@
+"""Fault lowering onto the cycle-level NoC: plan building, link hooks,
+event-loop/reference equivalence under faults, and schedule checks."""
+
+import pytest
+
+from repro.config import FaultModelConfig
+from repro.core import Shape, allreduce_schedule
+from repro.errors import FaultError, SimulationError
+from repro.faults import (
+    FaultEvent,
+    FaultSet,
+    NocFaultPlan,
+    apply_noc_faults,
+    build_noc_fault_plan,
+    check_degraded_schedule,
+    clear_noc_faults,
+)
+from repro.noc import Message, NocNetwork, NocSimulator
+
+COMPARED_FIELDS = (
+    "cycles",
+    "flits_delivered",
+    "messages_delivered",
+    "per_message_latency",
+    "link_busy_cycles",
+    "flits_corrupted",
+    "retry_cycles_paid",
+)
+
+
+def faults_of(*events) -> FaultSet:
+    return FaultSet(events=tuple(events))
+
+
+def cross_traffic(shape, count=12, flits=4):
+    n = shape.num_dpus
+    return [
+        Message(msg_id=i, src=i % n, dst=(i * 5 + 1) % n or 1,
+                num_flits=flits, ready_cycle=(i * 3) % 20)
+        for i in range(count)
+        if i % n != ((i * 5 + 1) % n or 1)
+    ]
+
+
+def run_loop(network, messages, loop):
+    sim = NocSimulator(network, list(messages))
+    runner = sim.run if loop == "event" else sim._run_reference
+    return runner(200_000)
+
+
+def assert_loops_agree(network, messages):
+    event = run_loop(network, messages, "event")
+    reference = run_loop(network, messages, "reference")
+    for name in COMPARED_FIELDS:
+        assert getattr(event, name) == getattr(reference, name), name
+    return event
+
+
+class TestPlanBuild:
+    def test_empty_fault_set_builds_noop_plan(self):
+        plan = build_noc_fault_plan(faults_of(), FaultModelConfig())
+        assert not plan
+
+    def test_degraded_chip_slows_both_dq_directions(self):
+        plan = build_noc_fault_plan(
+            faults_of(FaultEvent("chip_link_degraded", "chip:1:0", 2.5)),
+            FaultModelConfig(),
+        )
+        assert plan.link_factors == {"dq:1:0:up": 3, "dq:1:0:down": 3}
+
+    def test_bus_stalls_become_disjoint_windows(self):
+        plan = build_noc_fault_plan(
+            faults_of(
+                FaultEvent("rank_bus_stall", "bus"),
+            ),
+            FaultModelConfig(rank_bus_stall_s=2e-6),
+        )
+        assert plan.bus_stall_windows == ((2000, 4000),)
+
+    def test_corruption_settings_carried_from_model(self):
+        plan = build_noc_fault_plan(
+            faults_of(),
+            FaultModelConfig(
+                flit_corruption_rate=0.25, retry_penalty_flits=3
+            ),
+            seed=9,
+        )
+        assert plan.corruption_rate == 0.25
+        assert plan.retry_penalty_flits == 3
+        assert plan.corruption_salt == 9
+        assert plan  # corruption alone makes the plan non-trivial
+
+    def test_fatal_fault_sets_rejected(self):
+        with pytest.raises(FaultError, match="fail-stop"):
+            build_noc_fault_plan(
+                faults_of(FaultEvent("bank_fail_stop", "bank:0:0:0")),
+                FaultModelConfig(),
+            )
+
+
+class TestApplyAndClear:
+    def test_unknown_link_name_fails_loudly(self):
+        net = NocNetwork(Shape(2, 1, 1))
+        plan = NocFaultPlan(link_factors={"dq:9:9:up": 2})
+        with pytest.raises(FaultError, match="does not exist"):
+            apply_noc_faults(net, plan)
+
+    def test_apply_configures_named_links_and_bus(self):
+        net = NocNetwork(Shape(2, 2, 2))
+        plan = build_noc_fault_plan(
+            faults_of(
+                FaultEvent("chip_link_degraded", "chip:0:1", 2.0),
+                FaultEvent("rank_bus_stall", "bus"),
+            ),
+            FaultModelConfig(rank_bus_stall_s=1e-6),
+        )
+        apply_noc_faults(net, plan)
+        assert net.links["dq:0:1:up"].fault_factor == 2
+        assert net.links["dq:0:1:down"].fault_factor == 2
+        assert net.bus_medium.stall_windows == ((1000, 2000),)
+
+    def test_clear_restores_asbuilt_behavior(self):
+        shape = Shape(2, 2, 2)
+        messages = cross_traffic(shape)
+        clean = run_loop(NocNetwork(shape), messages, "event")
+
+        net = NocNetwork(shape)
+        plan = build_noc_fault_plan(
+            faults_of(FaultEvent("chip_link_degraded", "chip:0:0", 4.0)),
+            FaultModelConfig(flit_corruption_rate=0.5),
+        )
+        apply_noc_faults(net, plan)
+        faulted = run_loop(net, messages, "event")
+        assert faulted.cycles > clean.cycles
+
+        clear_noc_faults(net)
+        restored = run_loop(net, messages, "event")
+        assert restored.cycles == clean.cycles
+        assert restored.per_message_latency == clean.per_message_latency
+        assert restored.flits_corrupted == 0
+
+
+class TestLinkFaultValidation:
+    def link(self):
+        return NocNetwork(Shape(2, 1, 1)).links["ring:0:0:0>E"]
+
+    def test_bad_outage_window_rejected(self):
+        with pytest.raises(SimulationError, match="outage"):
+            self.link().configure_faults(outages=((10, 10),))
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(SimulationError, match="fault_factor"):
+            self.link().configure_faults(fault_factor=0)
+
+    def test_negative_retry_cycles_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            self.link().configure_faults(retry_cycles=-1)
+
+    def test_corruption_rate_outside_unit_interval_rejected(self):
+        with pytest.raises(SimulationError, match="corruption_rate"):
+            self.link().configure_faults(corruption_rate=1.5)
+
+    def test_reset_keeps_configuration_but_clears_counters(self):
+        link = self.link()
+        link.configure_faults(corruption_rate=1.0, retry_cycles=2)
+        link.traversal_count = 5
+        link.corrupted_flits = 5
+        link.retry_cycles_paid = 10
+        link.reset()
+        assert link.corruption_rate == 1.0
+        assert link.traversal_count == 0
+        assert link.corrupted_flits == 0
+        assert link.retry_cycles_paid == 0
+
+
+class TestLoopEquivalenceUnderFaults:
+    """The event-driven loop and the naive reference loop must stay
+    byte-equal with fault hooks active, not just fault-free."""
+
+    def test_degraded_links_and_corruption(self):
+        shape = Shape(2, 2, 2)
+        net = NocNetwork(shape)
+        plan = build_noc_fault_plan(
+            faults_of(
+                FaultEvent("chip_link_degraded", "chip:0:0", 2.0),
+                FaultEvent("chip_link_degraded", "chip:1:1", 3.0),
+            ),
+            FaultModelConfig(
+                flit_corruption_rate=0.2, retry_penalty_flits=2
+            ),
+            seed=4,
+        )
+        apply_noc_faults(net, plan)
+        stats = assert_loops_agree(net, cross_traffic(shape, count=16))
+        assert stats.flits_corrupted > 0
+        assert stats.retry_cycles_paid > 0
+
+    def test_bus_stall_window(self):
+        shape = Shape(2, 2, 2)
+        net = NocNetwork(shape)
+        net.bus_medium.stall_windows = ((0, 500),)
+        assert_loops_agree(net, cross_traffic(shape, count=16))
+
+    def test_outage_window_delays_but_delivers(self):
+        shape = Shape(2, 1, 1)
+        net = NocNetwork(shape)
+        clean_stats = run_loop(
+            net, [Message(msg_id=0, src=0, dst=1, num_flits=2)], "event"
+        )
+        for link in net.links.values():
+            link.configure_faults(outages=((0, 400),))
+        stats = assert_loops_agree(
+            net, [Message(msg_id=0, src=0, dst=1, num_flits=2)]
+        )
+        assert stats.messages_delivered == 1
+        assert stats.cycles >= 400
+        assert stats.cycles > clean_stats.cycles
+
+    def test_overlapping_outage_windows(self):
+        shape = Shape(2, 1, 1)
+        net = NocNetwork(shape)
+        for link in net.links.values():
+            link.configure_faults(outages=((0, 100), (50, 300)))
+        stats = assert_loops_agree(
+            net, [Message(msg_id=0, src=0, dst=1, num_flits=3)]
+        )
+        assert stats.cycles >= 300
+
+    def test_corruption_counts_deterministic_across_runs(self):
+        shape = Shape(2, 2, 1)
+        net = NocNetwork(shape)
+        for link in net.links.values():
+            link.configure_faults(corruption_rate=0.3, retry_cycles=4)
+        messages = cross_traffic(shape, count=10)
+        first = run_loop(net, messages, "event")
+        second = run_loop(net, messages, "event")
+        assert first.flits_corrupted == second.flits_corrupted
+        assert first.cycles == second.cycles
+
+
+class TestFaultFreeByteEquality:
+    """With no faults configured the hooks must cost nothing: stats are
+    identical to a network that never heard of fault injection."""
+
+    def test_configure_then_clear_equals_untouched(self):
+        shape = Shape(2, 2, 2)
+        messages = cross_traffic(shape)
+        untouched = run_loop(NocNetwork(shape), messages, "event")
+        net = NocNetwork(shape)
+        for link in net.links.values():
+            link.configure_faults(
+                outages=((5, 9),), fault_factor=3, corruption_rate=0.5
+            )
+        clear_noc_faults(net)
+        cleared = run_loop(net, messages, "event")
+        assert cleared.cycles == untouched.cycles
+        assert cleared.link_busy_cycles == untouched.link_busy_cycles
+        assert cleared.flits_corrupted == 0
+
+
+class TestScheduleFeasibility:
+    def schedule(self, shape=Shape(2, 2, 2)):
+        return allreduce_schedule(shape, 64)
+
+    def test_clean_fault_set_has_no_violations(self):
+        assert check_degraded_schedule(self.schedule(), faults_of()) == ()
+
+    def test_stragglers_do_not_invalidate_the_schedule(self):
+        fault_set = faults_of(
+            FaultEvent("bank_straggler", "bank:0:0:0", 4.0)
+        )
+        assert check_degraded_schedule(self.schedule(), fault_set) == ()
+
+    def test_dead_bank_reported_once_per_phase(self):
+        fault_set = faults_of(FaultEvent("bank_fail_stop", "bank:0:0:0"))
+        violations = check_degraded_schedule(self.schedule(), fault_set)
+        assert violations
+        assert all("bank:0:0:0" in v for v in violations)
+        assert len(violations) == len(set(violations))
+
+    def test_failed_chip_link_blocks_chip_crossing_transfers(self):
+        fault_set = faults_of(FaultEvent("chip_link_failed", "chip:0:1"))
+        violations = check_degraded_schedule(self.schedule(), fault_set)
+        assert violations
+        assert all("DQ link" in v for v in violations)

@@ -72,6 +72,18 @@ def _duplicate_index_points(machine):
     return (SweepPoint(0, {"x": 0}), SweepPoint(0, {"x": 1}))
 
 
+def _seeded_points(machine):
+    return (
+        SweepPoint(0, {"x": 0, "seed": 100}),
+        SweepPoint(1, {"x": 1, "seed": 100}),
+        SweepPoint(2, {"x": 2}),  # unseeded: a --seed override skips it
+    )
+
+
+def _seeded_point(machine, x, seed=None):
+    return {"x": x, "square": seed if seed is not None else -1}
+
+
 TOY_SPECS = (
     ExperimentSpec(
         "toy_squares", "toy", _square_points, _square_point, _square_assemble
@@ -98,6 +110,13 @@ TOY_SPECS = (
         "toy",
         _duplicate_index_points,
         _square_point,
+        _square_assemble,
+    ),
+    ExperimentSpec(
+        "toy_seeded",
+        "toy",
+        _seeded_points,
+        _seeded_point,
         _square_assemble,
     ),
 )
@@ -226,6 +245,41 @@ class TestCachingThroughExecutor:
         assert snapshot["runner.cache.hits"]["value"] == N_POINTS
         assert snapshot["runner.experiments"]["value"] == 2
         assert snapshot["runner.points"]["value"] == 2 * N_POINTS
+
+
+class TestSeedOverride:
+    """Satellite of ``repro.faults``: a global --seed flows into every
+    seeded sweep point and is recorded in the run."""
+
+    def test_no_seed_keeps_registered_defaults(self, machine):
+        run = run_experiment("toy_seeded", machine, _no_cache())
+        assert run.seed is None
+        assert run.tables[0].rows == ((0, 100), (1, 100), (2, -1))
+
+    def test_seed_overrides_only_seeded_points(self, machine):
+        run = run_experiment("toy_seeded", machine, _no_cache(), seed=7)
+        assert run.seed == 7
+        assert run.tables[0].rows == ((0, 7), (1, 7), (2, -1))
+
+    def test_negative_seed_rejected(self, machine):
+        with pytest.raises(RunnerError, match="seed"):
+            run_experiment("toy_seeded", machine, _no_cache(), seed=-1)
+
+    def test_seed_participates_in_the_cache_key(self, machine, tmp_path):
+        runner = RunnerConfig(cache_dir=str(tmp_path / "cache"))
+        first = run_experiment("toy_seeded", machine, runner, seed=7)
+        other_seed = run_experiment("toy_seeded", machine, runner, seed=8)
+        assert other_seed.cache_hits == 1  # only the unseeded point
+        assert other_seed.tables != first.tables
+        warm = run_experiment("toy_seeded", machine, runner, seed=7)
+        assert warm.cache_hits == 3
+        assert warm.tables == first.tables
+
+    def test_experiments_without_seeded_points_unaffected(self, machine):
+        plain = run_experiment("toy_squares", machine, _no_cache())
+        seeded = run_experiment("toy_squares", machine, _no_cache(), seed=5)
+        assert seeded.tables == plain.tables
+        assert seeded.seed == 5
 
 
 class TestRunExperiments:
