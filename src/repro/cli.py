@@ -16,6 +16,9 @@ Usage::
     python -m repro faults list          # named resilience campaigns
     python -m repro faults run mixed --seed 3 --json
     python -m repro faults run campaign.json --trials 64
+    python -m repro conformance run      # cross-model agreement matrix
+    python -m repro conformance run --mutate drop-flit   # sensitivity
+    python -m repro conformance shrink conformance-*.json
 """
 
 from __future__ import annotations
@@ -279,6 +282,134 @@ def _resolve_campaign(ref: str):
         f"(presets: {', '.join(sorted(CAMPAIGN_PRESETS))}; "
         "or pass a .json campaign file)"
     )
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .config.conformance import ConformanceConfig
+    from .conformance import (
+        ConformancePoint,
+        Mutation,
+        enumerate_matrix,
+        load_reproducer,
+        replay_reproducer,
+        run_matrix,
+        shrink_point,
+        write_reproducer,
+    )
+
+    try:
+        config = ConformanceConfig()
+        overrides = {}
+        if getattr(args, "seed", None) is not None:
+            overrides["seed"] = args.seed
+        if getattr(args, "rel_tol", None) is not None:
+            overrides["latency_rel_tol"] = args.rel_tol
+        if overrides:
+            config = replace(config, **overrides)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.conformance_command == "list":
+        points = [p.params for p in enumerate_matrix(config)]
+        if getattr(args, "json", False):
+            print(json.dumps({"points": points}, indent=1))
+            return 0
+        print(f"conformance matrix ({len(points)} points):")
+        for params in points:
+            print(f"  {ConformancePoint.from_params(params).label()}")
+        return 0
+
+    if args.conformance_command == "shrink":
+        try:
+            data = load_reproducer(args.reproducer)
+            report = replay_reproducer(data)
+            if report["ok"]:
+                print(
+                    f"{args.reproducer}: point "
+                    f"{ConformancePoint.from_params(data['point']).label()} "
+                    "no longer fails — nothing to shrink"
+                )
+                return 0
+            mutation_data = data.get("mutation")
+            mutation = (
+                Mutation.from_dict(mutation_data) if mutation_data else None
+            )
+            result = shrink_point(
+                ConformancePoint.from_params(data["point"]),
+                ConformanceConfig.from_dict(data.get("config") or {}),
+                mutation=mutation,
+            )
+            out = args.out or args.reproducer
+            write_reproducer(out, result, config, mutation)
+        except (ReproError, OSError) as exc:
+            print(f"conformance shrink failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"minimized to {result.point.label()} "
+            f"({result.attempts} attempt(s)); wrote {out}"
+        )
+        return 1
+
+    # run
+    mutation = None
+    if getattr(args, "mutate", None):
+        try:
+            mutation = Mutation(args.mutate, seed=args.mutate_seed)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    try:
+        report = run_matrix(
+            config,
+            mutation=mutation,
+            cache_enabled=args.cache,
+            cache_dir=args.cache_dir,
+        )
+    except ReproError as exc:
+        print(f"conformance run failed: {exc}", file=sys.stderr)
+        return 1
+
+    reproducers: list[str] = []
+    if not report.ok:
+        for failing in report.failures:
+            point = ConformancePoint.from_params(failing["point"])
+            try:
+                result = shrink_point(point, config, mutation=mutation)
+            except ReproError:
+                continue
+            name = (
+                "conformance-"
+                + result.point.label().replace("@", "-").replace("/", "-")
+                + ".json"
+            )
+            path = write_reproducer(
+                f"{args.reproducer_dir}/{name}", result, config, mutation
+            )
+            reproducers.append(str(path))
+
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "ok": report.ok,
+                    "points": len(report.reports),
+                    "failures": len(report.failures),
+                    "cache_hits": report.cache_hits,
+                    "cache_misses": report.cache_misses,
+                    "reports": list(report.reports),
+                    "reproducers": reproducers,
+                },
+                indent=1,
+            )
+        )
+    else:
+        print(report.format())
+        for path in reproducers:
+            print(f"wrote reproducer {path}")
+    return 0 if report.ok else 1
 
 
 def cmd_verify(_: argparse.Namespace) -> int:
@@ -626,6 +757,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p_faults_run.set_defaults(func=cmd_faults)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differentially validate the analytic, cycle-level, and "
+        "functional collective models",
+    )
+    conf_sub = p_conf.add_subparsers(
+        dest="conformance_command", required=True
+    )
+    p_conf_run = conf_sub.add_parser(
+        "run", help="run the full conformance matrix"
+    )
+    p_conf_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the payload/mutation RNG seed",
+    )
+    p_conf_run.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        metavar="F",
+        help="override the analytic-vs-NoC relative latency tolerance",
+    )
+    p_conf_run.add_argument(
+        "--mutate",
+        default=None,
+        metavar="MODE",
+        help="inject one seeded defect per point "
+        "(offset, drop-transfer, drop-flit, stall) to prove the "
+        "engine catches divergence; disables the cache",
+    )
+    p_conf_run.add_argument(
+        "--mutate-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the mutation target RNG (default: 0)",
+    )
+    p_conf_run.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse/store point reports in the on-disk cache "
+        "(default: on; --no-cache recomputes everything)",
+    )
+    p_conf_run.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_conf_run.add_argument(
+        "--reproducer-dir",
+        metavar="PATH",
+        default=".",
+        help="where to write JSON reproducers for failing points "
+        "(default: current directory)",
+    )
+    p_conf_run.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_conf_run.set_defaults(func=cmd_conformance)
+    p_conf_list = conf_sub.add_parser(
+        "list", help="enumerate the matrix points"
+    )
+    p_conf_list.add_argument(
+        "--seed", type=int, default=None, help=argparse.SUPPRESS
+    )
+    p_conf_list.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_conf_list.set_defaults(func=cmd_conformance)
+    p_conf_shrink = conf_sub.add_parser(
+        "shrink", help="replay and re-minimize a JSON reproducer"
+    )
+    p_conf_shrink.add_argument(
+        "reproducer",
+        help="path to a reproducer written by 'repro conformance run'",
+    )
+    p_conf_shrink.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="where to write the minimized reproducer "
+        "(default: overwrite the input)",
+    )
+    p_conf_shrink.set_defaults(func=cmd_conformance)
     return parser
 
 

@@ -16,6 +16,7 @@ from .compute import (
     next_gen_dpu_profile,
     upmem_profile,
 )
+from .conformance import ConformanceConfig
 from .network import (
     BufferChipConfig,
     HostLinkConfig,
@@ -48,6 +49,7 @@ __all__ = [
     "next_gen_dpu_profile",
     "upmem_profile",
     "BufferChipConfig",
+    "ConformanceConfig",
     "HostLinkConfig",
     "PimnetNetworkConfig",
     "TierLinkConfig",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, fields
 
 from ..errors import FaultConfigError
 from .system import PimSystemConfig
+from .units import is_finite_number
 
 #: Fault kinds the engine knows how to sample and inject.
 FAULT_KINDS = (
@@ -89,17 +90,26 @@ class FaultModelConfig:
                     f"{name} must be a probability in [0, 1], got {value}"
                 )
         for name in ("straggler_severity", "chip_link_degrade_factor"):
-            if getattr(self, name) < 1.0:
+            value = getattr(self, name)
+            if not is_finite_number(value) or value < 1.0:
                 raise FaultConfigError(
                     f"{name} is a slowdown multiplier and must be >= 1, "
-                    f"got {getattr(self, name)}"
+                    f"got {value}"
                 )
-        if self.rank_bus_stall_s < 0:
-            raise FaultConfigError("rank_bus_stall_s must be >= 0")
+        if not is_finite_number(self.rank_bus_stall_s) or (
+            self.rank_bus_stall_s < 0
+        ):
+            raise FaultConfigError(
+                f"rank_bus_stall_s must be >= 0, got {self.rank_bus_stall_s}"
+            )
         if self.retry_penalty_flits < 0:
             raise FaultConfigError("retry_penalty_flits must be >= 0")
-        if self.sync_timeout_s <= 0:
-            raise FaultConfigError("sync_timeout_s must be positive")
+        if not is_finite_number(self.sync_timeout_s) or (
+            self.sync_timeout_s <= 0
+        ):
+            raise FaultConfigError(
+                f"sync_timeout_s must be positive, got {self.sync_timeout_s}"
+            )
         if self.max_retries < 0:
             raise FaultConfigError("max_retries must be >= 0")
 

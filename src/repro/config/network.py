@@ -38,10 +38,20 @@ class TierLinkConfig:
             raise ConfigurationError(f"{self.name}: need >= 1 channel")
         if self.width_bits < 1:
             raise ConfigurationError(f"{self.name}: width must be positive")
-        if self.bandwidth_per_channel_bytes_per_s <= 0:
-            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
-        if self.hop_latency_s < 0:
-            raise ConfigurationError(f"{self.name}: latency must be >= 0")
+        if not units.is_finite_number(
+            self.bandwidth_per_channel_bytes_per_s
+        ) or self.bandwidth_per_channel_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"{self.name}: bandwidth must be positive, "
+                f"got {self.bandwidth_per_channel_bytes_per_s}"
+            )
+        if not units.is_finite_number(self.hop_latency_s) or (
+            self.hop_latency_s < 0
+        ):
+            raise ConfigurationError(
+                f"{self.name}: latency must be >= 0, "
+                f"got {self.hop_latency_s}"
+            )
 
     @property
     def link_bandwidth_bytes_per_s(self) -> float:
@@ -97,10 +107,19 @@ class PimnetNetworkConfig:
     mram_wram_dma_bytes_per_s: float = 0.63 * units.GB
 
     def __post_init__(self) -> None:
-        if self.sync_latency_s < 0:
-            raise ConfigurationError("sync latency must be >= 0")
-        if self.mram_wram_dma_bytes_per_s <= 0:
-            raise ConfigurationError("DMA bandwidth must be positive")
+        if not units.is_finite_number(self.sync_latency_s) or (
+            self.sync_latency_s < 0
+        ):
+            raise ConfigurationError(
+                f"sync latency must be >= 0, got {self.sync_latency_s}"
+            )
+        if not units.is_finite_number(self.mram_wram_dma_bytes_per_s) or (
+            self.mram_wram_dma_bytes_per_s <= 0
+        ):
+            raise ConfigurationError(
+                f"DMA bandwidth must be positive, "
+                f"got {self.mram_wram_dma_bytes_per_s}"
+            )
         if not 0 < self.inter_rank_unicast_efficiency <= 1:
             raise ConfigurationError(
                 "inter_rank_unicast_efficiency must be in (0, 1]"
@@ -153,8 +172,11 @@ class HostLinkConfig:
             "cpu_to_pim_broadcast_bytes_per_s",
             "max_channel_bytes_per_s",
         ):
-            if getattr(self, name) <= 0:
-                raise ConfigurationError(f"{name} must be positive")
+            value = getattr(self, name)
+            if not units.is_finite_number(value) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {value}"
+                )
 
 
 @dataclass(frozen=True)
@@ -177,11 +199,19 @@ class BufferChipConfig:
     hop_latency_s: float = 10 * units.NS
 
     def __post_init__(self) -> None:
-        if self.bank_to_buffer_bytes_per_s <= 0:
-            raise ConfigurationError("buffer-chip bandwidth must be positive")
-        if self.chip_dq_bytes_per_s <= 0:
-            raise ConfigurationError("chip DQ bandwidth must be positive")
-        if self.inter_rank_link_bytes_per_s <= 0:
-            raise ConfigurationError("inter-rank link bandwidth must be positive")
-        if self.hop_latency_s < 0:
-            raise ConfigurationError("hop latency must be >= 0")
+        for name in (
+            "bank_to_buffer_bytes_per_s",
+            "chip_dq_bytes_per_s",
+            "inter_rank_link_bytes_per_s",
+        ):
+            value = getattr(self, name)
+            if not units.is_finite_number(value) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {value}"
+                )
+        if not units.is_finite_number(self.hop_latency_s) or (
+            self.hop_latency_s < 0
+        ):
+            raise ConfigurationError(
+                f"hop latency must be >= 0, got {self.hop_latency_s}"
+            )

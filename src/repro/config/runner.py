@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from .units import is_finite_number
 
 #: Default on-disk cache location (kept in sync with repro.runner.cache).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -33,7 +34,10 @@ class RunnerConfig:
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
-        if self.point_timeout_s is not None and self.point_timeout_s <= 0:
+        if self.point_timeout_s is not None and (
+            not is_finite_number(self.point_timeout_s)
+            or self.point_timeout_s <= 0
+        ):
             raise ConfigurationError(
                 f"point_timeout_s must be positive, got "
                 f"{self.point_timeout_s}"

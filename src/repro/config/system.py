@@ -33,8 +33,13 @@ class DpuConfig:
     mram_bytes: int = 64 * units.MIB
 
     def __post_init__(self) -> None:
-        if self.frequency_hz <= 0:
-            raise ConfigurationError("DPU frequency must be positive")
+        if not units.is_finite_number(self.frequency_hz) or (
+            self.frequency_hz <= 0
+        ):
+            raise ConfigurationError(
+                f"DPU frequency must be a positive finite number, "
+                f"got {self.frequency_hz}"
+            )
         if self.num_hw_tasklets < 1:
             raise ConfigurationError("a DPU needs at least one tasklet")
         if not 1 <= self.min_tasklets_full_throughput <= self.num_hw_tasklets:
@@ -43,8 +48,11 @@ class DpuConfig:
                 f"[1, {self.num_hw_tasklets}]"
             )
         for name in ("wram_bytes", "iram_bytes", "mram_bytes"):
-            if getattr(self, name) <= 0:
-                raise ConfigurationError(f"{name} must be positive")
+            value = getattr(self, name)
+            if not units.is_finite_number(value) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {value}"
+                )
 
     @property
     def cycle_time_s(self) -> float:
@@ -75,7 +83,7 @@ class PimSystemConfig:
             "num_channels",
         ):
             value = getattr(self, name)
-            if value < 1:
+            if not units.is_finite_number(value) or value < 1:
                 raise ConfigurationError(f"{name} must be >= 1, got {value}")
 
     # -- derived counts -----------------------------------------------------
@@ -151,14 +159,27 @@ class HostConfig:
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ConfigurationError("host needs at least one core")
-        if self.frequency_hz <= 0:
-            raise ConfigurationError("host frequency must be positive")
-        if self.reduce_bandwidth_bytes_per_s <= 0:
-            raise ConfigurationError("host reduce bandwidth must be positive")
+        if not units.is_finite_number(self.frequency_hz) or (
+            self.frequency_hz <= 0
+        ):
+            raise ConfigurationError(
+                f"host frequency must be a positive finite number, "
+                f"got {self.frequency_hz}"
+            )
+        if not units.is_finite_number(
+            self.reduce_bandwidth_bytes_per_s
+        ) or self.reduce_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"host reduce bandwidth must be positive, "
+                f"got {self.reduce_bandwidth_bytes_per_s}"
+            )
         for name in (
             "kernel_launch_overhead_s",
             "transfer_setup_overhead_s",
             "per_rank_transfer_overhead_s",
         ):
-            if getattr(self, name) < 0:
-                raise ConfigurationError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if not units.is_finite_number(value) or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got {value}"
+                )

@@ -8,6 +8,8 @@ of silent 2.4% errors, so all conversions go through this module.
 
 from __future__ import annotations
 
+import math
+
 # --- data sizes (binary, as used for memory capacities) -------------------
 KIB = 1024
 MIB = 1024 * KIB
@@ -27,6 +29,19 @@ MS = 1e-3
 KHZ = 1e3
 MHZ = 1e6
 GHZ = 1e9
+
+
+def is_finite_number(value: object) -> bool:
+    """Whether ``value`` is a real, finite number.
+
+    Config validators guard with this before range checks: a bare
+    ``value <= 0`` lets NaN through (every comparison with NaN is
+    false), and NaN/inf then propagate as garbage timings instead of a
+    clear configuration error.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)
 
 
 def bytes_per_second(gigabytes_per_second: float) -> float:
@@ -100,7 +115,11 @@ def parse_bytes(text: str) -> int:
         value = float(digits.strip())
     except ValueError:
         raise ValueError(f"cannot parse size {text!r}") from None
+    if not math.isfinite(value):
+        raise ValueError(f"size {text!r} is not a finite number")
     num_bytes = value * _SIZE_MULTIPLIERS[suffix]
+    if not math.isfinite(num_bytes):
+        raise ValueError(f"size {text!r} overflows to infinity")
     if num_bytes <= 0 or num_bytes != int(num_bytes):
         raise ValueError(
             f"size {text!r} must be a positive whole number of bytes"

@@ -1,0 +1,41 @@
+"""Cross-model conformance: differential validation of the three
+collective implementations.
+
+The repo models PIMnet collectives three independent ways — analytic
+static schedules (:mod:`repro.core.schedule` / :mod:`repro.core.timing`),
+the flit-level NoC simulator (:mod:`repro.noc`), and the functional
+numpy reference (:mod:`repro.collectives.functional`).  This package
+holds them against each other over a collective x shape x payload
+matrix, shrinks any disagreement to a minimal reproducer, and proves
+its own sensitivity with seeded mutations.  See ``docs/CONFORMANCE.md``
+and ``repro conformance --help``.
+"""
+
+from .engine import CHECKS, MatrixReport, run_matrix, run_point
+from .matrix import ConformancePoint, enumerate_matrix
+from .mutate import MUTATION_MODES, Mutation
+from .shrink import (
+    ShrinkResult,
+    load_reproducer,
+    replay_reproducer,
+    reproducer_payload,
+    shrink_point,
+    write_reproducer,
+)
+
+__all__ = [
+    "CHECKS",
+    "MUTATION_MODES",
+    "ConformancePoint",
+    "MatrixReport",
+    "Mutation",
+    "ShrinkResult",
+    "enumerate_matrix",
+    "load_reproducer",
+    "replay_reproducer",
+    "reproducer_payload",
+    "run_matrix",
+    "run_point",
+    "shrink_point",
+    "write_reproducer",
+]

@@ -1,0 +1,120 @@
+"""The conformance matrix: points and their enumeration.
+
+A :class:`ConformancePoint` is one cell of the collective x shape x
+payload product.  It is deliberately tiny and JSON-friendly — the
+shrinker serializes points into reproducer files and the runner cache
+keys on their ``params`` dict — so everything heavier (schedules,
+buffers, NoC networks) is derived on demand by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.patterns import Collective, CollectiveRequest
+from ..config.conformance import ConformanceConfig
+from ..core.schedule import Shape
+from ..errors import ConformanceError
+
+
+@dataclass(frozen=True)
+class ConformancePoint:
+    """One matrix cell: a collective on a machine shape at a payload."""
+
+    collective: str
+    banks: int
+    chips: int
+    ranks: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        for name in ("banks", "chips", "ranks", "payload_bytes"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ConformanceError(
+                    f"point {name} must be a positive int, got {value!r}"
+                )
+        self.pattern  # validates the collective name
+
+    @property
+    def pattern(self) -> Collective:
+        try:
+            return Collective(self.collective)
+        except ValueError:
+            raise ConformanceError(
+                f"unknown collective {self.collective!r}"
+            ) from None
+
+    @property
+    def shape(self) -> Shape:
+        return Shape(self.banks, self.chips, self.ranks)
+
+    @property
+    def num_dpus(self) -> int:
+        return self.banks * self.chips * self.ranks
+
+    def num_elements(self, itemsize: int) -> int:
+        if self.payload_bytes % itemsize:
+            raise ConformanceError(
+                f"payload {self.payload_bytes} is not a multiple of "
+                f"the {itemsize}-byte element size"
+            )
+        return self.payload_bytes // itemsize
+
+    def request(self, itemsize: int = 8) -> CollectiveRequest:
+        return CollectiveRequest(
+            self.pattern, self.num_elements(itemsize) * 8
+        )
+
+    @property
+    def params(self) -> dict[str, int | str]:
+        """Cache-key / JSON form; inverse of :meth:`from_params`."""
+        return {
+            "collective": self.collective,
+            "banks": self.banks,
+            "chips": self.chips,
+            "ranks": self.ranks,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    @classmethod
+    def from_params(cls, data: dict) -> "ConformancePoint":
+        if not isinstance(data, dict):
+            raise ConformanceError("conformance point must be an object")
+        known = {"collective", "banks", "chips", "ranks", "payload_bytes"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConformanceError(
+                f"unknown point field(s): {', '.join(unknown)}"
+            )
+        missing = sorted(known - set(data))
+        if missing:
+            raise ConformanceError(
+                f"point is missing field(s): {', '.join(missing)}"
+            )
+        return cls(**data)
+
+    def label(self) -> str:
+        return (
+            f"{self.collective}@{self.banks}x{self.chips}x{self.ranks}"
+            f"/{self.payload_bytes}B"
+        )
+
+
+def enumerate_matrix(
+    config: ConformanceConfig,
+) -> tuple[ConformancePoint, ...]:
+    """All matrix cells, in deterministic (collective, shape, payload)
+    order — the order is load-bearing for per-point RNG derivation."""
+    return tuple(
+        ConformancePoint(
+            collective=collective,
+            banks=banks,
+            chips=chips,
+            ranks=ranks,
+            payload_bytes=payload,
+        )
+        for collective in config.collectives
+        for banks, chips, ranks in config.shapes
+        for payload in config.payload_bytes
+    )

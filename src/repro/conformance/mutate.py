@@ -1,0 +1,182 @@
+"""Seeded divergence injection: proof the engine catches real bugs.
+
+A conformance engine that only ever reports agreement is
+indistinguishable from one that checks nothing.  Each mutation mode
+injects exactly one deterministic defect into one model's view of a
+point, chosen so a *specific* check must trip:
+
+* ``offset`` — shift one scheduled transfer's destination offset by its
+  length.  The schedule now lands data in the wrong slot: caught by the
+  functional bit-exactness check, or by the structural validators when
+  the shift leaves the buffer.
+* ``drop-transfer`` — delete one scheduled transfer outright: the
+  functional result misses a contribution.
+* ``drop-flit`` — remove one flit from one NoC message (the schedule is
+  untouched): caught by flit conservation against the schedule-derived
+  expected count.
+* ``stall`` — delay one NoC message's injection far beyond the analytic
+  bound: caught by the latency-agreement check.
+
+Everything derives from ``(mode, seed, point)`` via a string-seeded
+:class:`random.Random`, so a failure shrinks and replays bit-identically
+on any machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..core.schedule import CommSchedule, Phase, Step, Tier
+from ..errors import ConformanceError
+from ..noc.flit import Message
+
+#: The supported mutation modes, in documentation order.
+MUTATION_MODES = ("offset", "drop-transfer", "drop-flit", "stall")
+
+#: Modes that rewrite the schedule (vs. the NoC message list).
+SCHEDULE_MODES = ("offset", "drop-transfer")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded defect: which mode, and which RNG stream picks the
+    target."""
+
+    mode: str
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MUTATION_MODES:
+            raise ConformanceError(
+                f"unknown mutation mode {self.mode!r} "
+                f"(known: {', '.join(MUTATION_MODES)})"
+            )
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ConformanceError(
+                f"mutation seed must be >= 0, got {self.seed!r}"
+            )
+
+    def rng(self, point_label: str) -> random.Random:
+        """Deterministic stream for this (mutation, point) pair.
+
+        String seeds hash via the seed bytes themselves (not the
+        process-salted ``hash()``), so the stream is stable across
+        processes and platforms.
+        """
+        return random.Random(f"{self.mode}:{self.seed}:{point_label}")
+
+    def as_dict(self) -> dict:
+        return {"mode": self.mode, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mutation":
+        if not isinstance(data, dict):
+            raise ConformanceError("mutation must be an object")
+        unknown = sorted(set(data) - {"mode", "seed"})
+        if unknown:
+            raise ConformanceError(
+                f"unknown mutation field(s): {', '.join(unknown)}"
+            )
+        if "mode" not in data:
+            raise ConformanceError("mutation is missing 'mode'")
+        return cls(**data)
+
+
+def _transfer_sites(
+    schedule: CommSchedule,
+) -> list[tuple[int, int, int]]:
+    """(phase, step, transfer) indices of every network-visible
+    transfer."""
+    return [
+        (p, s, t)
+        for p, phase in enumerate(schedule.phases)
+        if phase.tier is not Tier.LOCAL
+        for s, step in enumerate(phase.steps)
+        for t in range(len(step.transfers))
+    ]
+
+
+def mutate_schedule(
+    schedule: CommSchedule, mutation: Mutation, rng: random.Random
+) -> CommSchedule:
+    """Apply a schedule-level mutation; returns a new schedule.
+
+    Raises :class:`ConformanceError` when the schedule has no
+    network-visible transfer to corrupt (degenerate single-DPU shapes),
+    so the shrinker treats such candidates as infeasible rather than as
+    silently-passing points.
+    """
+    if mutation.mode not in SCHEDULE_MODES:
+        raise ConformanceError(
+            f"mutation {mutation.mode!r} does not target the schedule"
+        )
+    sites = _transfer_sites(schedule)
+    if not sites:
+        raise ConformanceError(
+            "schedule has no network-visible transfer to mutate"
+        )
+    target = rng.choice(sites)
+    phases = []
+    for p, phase in enumerate(schedule.phases):
+        if p != target[0]:
+            phases.append(phase)
+            continue
+        steps = []
+        for s, step in enumerate(phase.steps):
+            if s != target[1]:
+                steps.append(step)
+                continue
+            transfers = list(step.transfers)
+            victim = transfers[target[2]]
+            if mutation.mode == "offset":
+                transfers[target[2]] = replace(
+                    victim, dst_offset=victim.dst_offset + victim.length
+                )
+            else:  # drop-transfer
+                del transfers[target[2]]
+            if transfers:
+                steps.append(Step(tuple(transfers)))
+        if steps:
+            phases.append(Phase(phase.tier, phase.name, tuple(steps),
+                                phase.algorithm))
+    return CommSchedule(
+        schedule.pattern, schedule.shape, schedule.num_elements,
+        tuple(phases),
+    )
+
+
+def mutate_messages(
+    messages: list[Message],
+    barriers: dict[int, int],
+    mutation: Mutation,
+    rng: random.Random,
+    stall_cycles: int,
+) -> tuple[list[Message], dict[int, int]]:
+    """Apply a message-level mutation; returns (messages, barriers).
+
+    ``stall_cycles`` is the injection delay for ``stall`` mode — the
+    engine sizes it from the point's analytic upper bound so the breach
+    is unambiguous at any shrink level.
+    """
+    if mutation.mode in SCHEDULE_MODES:
+        raise ConformanceError(
+            f"mutation {mutation.mode!r} does not target the message list"
+        )
+    if not messages:
+        raise ConformanceError("point generates no NoC messages to mutate")
+    victim = rng.choice(messages)
+    if mutation.mode == "stall":
+        victim.ready_cycle += stall_cycles
+        return messages, barriers
+    # drop-flit: shave one flit; a single-flit message vanishes whole.
+    if victim.num_flits > 1:
+        victim.num_flits -= 1
+        return messages, barriers
+    kept = [m for m in messages if m.msg_id != victim.msg_id]
+    kept_barriers = {
+        msg_id: step
+        for msg_id, step in barriers.items()
+        if msg_id != victim.msg_id
+    }
+    return kept, kept_barriers

@@ -83,6 +83,16 @@ class FaultConfigError(FaultError):
     """
 
 
+class ConformanceError(ReproError):
+    """The cross-model conformance engine was misconfigured or misused.
+
+    Raised for infeasible matrix points (a payload that does not divide
+    the machine shape), malformed reproducer files, and mutations that
+    have no applicable target — *not* for model disagreements, which are
+    data (a failing point report), never exceptions.
+    """
+
+
 class RunnerError(ReproError):
     """The parallel experiment runner was misconfigured or misused."""
 

@@ -54,6 +54,23 @@ class TestFaultModelValidation:
     def test_any_nonzero_rate_is_not_fault_free(self):
         assert not FaultModelConfig(bank_straggler_rate=0.1).fault_free
 
+    def test_nan_rates_rejected(self):
+        # `0 <= nan <= 1` is false, so the rate check already trips;
+        # pinned here so a refactor cannot regress it.
+        with pytest.raises(FaultConfigError):
+            FaultModelConfig(flit_corruption_rate=float("nan"))
+
+    @pytest.mark.parametrize("name", [
+        "straggler_severity", "chip_link_degrade_factor",
+        "rank_bus_stall_s", "sync_timeout_s",
+    ])
+    def test_nan_and_inf_durations_rejected(self, name):
+        # NaN used to pass the bare `< 1` / `< 0` checks (all NaN
+        # comparisons are false) and poison campaign cost models.
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(FaultConfigError):
+                FaultModelConfig(**{name: bad})
+
 
 class TestFaultModelScaled:
     def test_scales_every_rate(self):

@@ -24,6 +24,39 @@ class TestTierLinkConfig:
         with pytest.raises(ConfigurationError):
             TierLinkConfig("x", 1, 16, 1e9, -1e-9)
 
+    def test_rejects_nan_and_inf_bandwidth(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                TierLinkConfig("x", 1, 16, bad, 0)
+
+    def test_rejects_nan_latency(self):
+        with pytest.raises(ConfigurationError):
+            TierLinkConfig("x", 1, 16, 1e9, float("nan"))
+
+
+class TestNonFiniteNetworkValues:
+    def test_rejects_nan_sync_latency(self):
+        with pytest.raises(ConfigurationError):
+            PimnetNetworkConfig(sync_latency_s=float("nan"))
+
+    def test_rejects_nan_dma_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            PimnetNetworkConfig(mram_wram_dma_bytes_per_s=float("nan"))
+
+    def test_rejects_nan_unicast_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            PimnetNetworkConfig(inter_rank_unicast_efficiency=float("nan"))
+
+    def test_rejects_nan_host_links(self):
+        with pytest.raises(ConfigurationError):
+            HostLinkConfig(pim_to_cpu_bytes_per_s=float("nan"))
+
+    def test_rejects_nan_buffer_chip(self):
+        with pytest.raises(ConfigurationError):
+            BufferChipConfig(chip_dq_bytes_per_s=float("nan"))
+        with pytest.raises(ConfigurationError):
+            BufferChipConfig(hop_latency_s=float("inf"))
+
 
 class TestTableIvDefaults:
     def test_inter_bank_row(self):

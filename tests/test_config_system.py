@@ -30,6 +30,17 @@ class TestDpuConfig:
         with pytest.raises(ConfigurationError):
             DpuConfig(wram_bytes=0)
 
+    def test_rejects_nan_and_inf_frequency(self):
+        # NaN slips through a bare `<= 0` check (all NaN comparisons
+        # are false) and would propagate into every cycle conversion.
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                DpuConfig(frequency_hz=bad)
+
+    def test_rejects_nan_memory_sizes(self):
+        with pytest.raises(ConfigurationError):
+            DpuConfig(mram_bytes=float("nan"))
+
 
 class TestPimSystemConfig:
     def test_table_vi_shape(self):
@@ -48,6 +59,10 @@ class TestPimSystemConfig:
     def test_rejects_zero_banks(self):
         with pytest.raises(ConfigurationError):
             PimSystemConfig(banks_per_chip=0)
+
+    def test_rejects_nan_counts(self):
+        with pytest.raises(ConfigurationError):
+            PimSystemConfig(chips_per_rank=float("nan"))
 
     @pytest.mark.parametrize(
         "dpus,expected",
@@ -97,3 +112,15 @@ class TestHostConfig:
     def test_rejects_zero_cores(self):
         with pytest.raises(ConfigurationError):
             HostConfig(num_cores=0)
+
+    def test_rejects_nan_overheads_and_bandwidth(self):
+        nan = float("nan")
+        for kwargs in (
+            {"frequency_hz": nan},
+            {"reduce_bandwidth_bytes_per_s": nan},
+            {"kernel_launch_overhead_s": nan},
+            {"transfer_setup_overhead_s": nan},
+            {"per_rank_transfer_overhead_s": nan},
+        ):
+            with pytest.raises(ConfigurationError):
+                HostConfig(**kwargs)

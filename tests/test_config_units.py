@@ -86,3 +86,36 @@ class TestParseBytes:
         for bad in ("", "12XB", "abc", "-4KB", "0", "0.3B"):
             with pytest.raises(ValueError):
                 units.parse_bytes(bad)
+
+    def test_rejects_negative_with_clear_error(self):
+        with pytest.raises(ValueError, match="positive whole number"):
+            units.parse_bytes("-1MB")
+
+    def test_rejects_overflowing_digit_strings(self):
+        # float("9" * 400) is inf; this used to surface as an
+        # OverflowError from int(inf) rather than a clear ValueError.
+        with pytest.raises(ValueError, match="finite"):
+            units.parse_bytes("9" * 400)
+
+    def test_rejects_overflow_after_multiplier(self):
+        # The digits alone are finite, but scaling by GiB overflows.
+        with pytest.raises(ValueError, match="overflows"):
+            units.parse_bytes("1" + "0" * 308 + "GB")
+
+    def test_rejects_nan_and_inf_spellings(self):
+        # "nan"/"inf" parse as an unknown *suffix*, never as a value.
+        for bad in ("nan", "inf", "-inf", "nanKB", "infGB"):
+            with pytest.raises(ValueError):
+                units.parse_bytes(bad)
+
+
+class TestIsFiniteNumber:
+    def test_accepts_real_numbers(self):
+        for value in (1, 0, -3, 1.5, 2**62):
+            assert units.is_finite_number(value)
+
+    def test_rejects_non_finite_and_non_numbers(self):
+        for value in (
+            float("nan"), float("inf"), float("-inf"), "1", None, True,
+        ):
+            assert not units.is_finite_number(value)

@@ -1,8 +1,14 @@
 """Algorithm 1: address generation and traffic-timing offsets."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.collectives import Collective, CollectiveRequest
+from repro.config import (
+    pimnet_sim_system,
+    small_test_system,
+    upmem_server,
+)
 from repro.core import (
     AllReduceAddressGenerator,
     PimnetBackend,
@@ -10,6 +16,7 @@ from repro.core import (
     alltoall_send_addresses,
 )
 from repro.errors import ScheduleError
+from repro.memory import AddressMap
 
 
 @pytest.fixture
@@ -127,3 +134,127 @@ class TestAllToAllAddresses:
     def test_indivisible_rejected(self):
         with pytest.raises(ScheduleError):
             alltoall_send_addresses(Shape(2, 2, 2), 63, dpu=0)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties: the hierarchical address maps round-trip and
+# never alias distinct (rank, chip, bank, offset) tuples.
+# ---------------------------------------------------------------------------
+
+#: All preset machine geometries (Table VI sim system, real UPMEM
+#: server, and the tiny test machine).
+PRESET_SYSTEMS = {
+    "small_test_system": small_test_system().system,
+    "pimnet_sim_system": pimnet_sim_system().system,
+    "upmem_server": upmem_server().system,
+}
+
+hyp_dims = st.integers(min_value=1, max_value=5)
+hyp_shapes = st.builds(Shape, banks=hyp_dims, chips=hyp_dims, ranks=hyp_dims)
+
+
+class TestShapeAddressingProperties:
+    @given(shape=hyp_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, shape):
+        """coords(dpu(r, c, b)) == (r, c, b) over the whole grid."""
+        for rank in range(shape.ranks):
+            for chip in range(shape.chips):
+                for bank in range(shape.banks):
+                    dpu = shape.dpu(rank, chip, bank)
+                    assert shape.coords(dpu) == (rank, chip, bank)
+
+    @given(shape=hyp_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_no_two_tuples_alias(self, shape):
+        """The flat id is a bijection: distinct coordinate tuples map to
+        distinct ids, and every id in [0, N) is hit."""
+        ids = {
+            shape.dpu(rank, chip, bank)
+            for rank in range(shape.ranks)
+            for chip in range(shape.chips)
+            for bank in range(shape.banks)
+        }
+        assert ids == set(range(shape.num_dpus))
+
+
+@st.composite
+def plan_cases(draw):
+    shape = draw(hyp_shapes)
+    per_dpu = draw(st.integers(min_value=1, max_value=8))
+    return shape, shape.num_dpus * per_dpu
+
+
+class TestAllReducePlanProperties:
+    @given(case=plan_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_bank_ag_addresses_partition_the_vector(self, case):
+        """Within each chip, the per-bank AG segments tile [0, E) with
+        no overlap — two banks never own the same address."""
+        shape, num_elements = case
+        model = PimnetBackend(pimnet_sim_system()).model
+        generator = AllReduceAddressGenerator(shape, num_elements, model)
+        seg = num_elements // shape.banks
+        for rank in range(shape.ranks):
+            for chip in range(shape.chips):
+                starts = []
+                for bank in range(shape.banks):
+                    plan = generator.plan(shape.dpu(rank, chip, bank))
+                    if shape.banks > 1:
+                        starts.append(plan.phase("bank", "AG").start_address)
+                if shape.banks > 1:
+                    assert sorted(starts) == [
+                        seg * b for b in range(shape.banks)
+                    ]
+                    assert len(set(starts)) == shape.banks
+
+    @given(case=plan_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_alltoall_sends_never_alias(self, case):
+        """Every peer's chunk sits at a distinct destination-indexed
+        address; no two sends from one DPU overlap."""
+        shape, num_elements = case
+        chunk = num_elements // shape.num_dpus
+        for dpu in range(shape.num_dpus):
+            addresses = alltoall_send_addresses(shape, num_elements, dpu)
+            seen = set()
+            for dst, address in addresses:
+                assert address == dst * chunk
+                assert address not in seen
+                seen.add(address)
+
+
+class TestAddressMapProperties:
+    @pytest.mark.parametrize(
+        "system", PRESET_SYSTEMS.values(), ids=PRESET_SYSTEMS.keys()
+    )
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_locate_round_trips(self, system, data):
+        """locate() is invertible: (dpu, mram_offset) determines the
+        host address, so two distinct host bytes can never land on the
+        same bank byte."""
+        amap = AddressMap(system)
+        address = data.draw(
+            st.integers(min_value=0, max_value=amap.total_bytes - 1)
+        )
+        dpu, offset = amap.locate(address)
+        assert 0 <= dpu < system.total_dpus
+        assert 0 <= offset < system.dpu.mram_bytes
+        stripe, within = divmod(offset, amap.interleave_bytes)
+        rebuilt = (
+            stripe * system.total_dpus + dpu
+        ) * amap.interleave_bytes + within
+        assert rebuilt == address
+
+    @pytest.mark.parametrize(
+        "system", PRESET_SYSTEMS.values(), ids=PRESET_SYSTEMS.keys()
+    )
+    def test_first_blocks_never_alias(self, system):
+        """Directed: one interleave block per DPU — all distinct."""
+        amap = AddressMap(system)
+        targets = {
+            amap.locate(block * amap.interleave_bytes)
+            for block in range(system.total_dpus)
+        }
+        assert len(targets) == system.total_dpus

@@ -1,0 +1,45 @@
+"""Registry-wide smoke test: every experiment runs one real point.
+
+Parametrized over ``REGISTRY.ids()`` so a newly registered experiment is
+smoke-covered automatically — if its sweep enumeration, first point, or
+cacheability is broken, this file fails without anyone writing a test.
+"""
+
+import pytest
+
+from repro.experiments.common import default_machine
+from repro.runner import REGISTRY, canonical_json
+
+MACHINE = default_machine()
+
+ALL_IDS = REGISTRY.ids()
+
+
+def test_registry_is_populated():
+    # The repo ships 19 experiment drivers; the floor guards against an
+    # import-order regression silently emptying the registry.
+    assert len(ALL_IDS) >= 19
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+class TestEverySpec:
+    def test_spec_shape(self, experiment_id):
+        spec = REGISTRY.get(experiment_id)
+        assert spec.experiment_id == experiment_id
+        assert spec.title.strip()
+
+    def test_sweep_enumeration_is_a_permutation(self, experiment_id):
+        spec = REGISTRY.get(experiment_id)
+        points = spec.points(MACHINE)
+        assert len(points) >= 1
+        assert sorted(p.index for p in points) == list(range(len(points)))
+        for point in points:
+            # Params are one third of the cache key: must be JSON-able.
+            canonical_json(point.params)
+
+    def test_first_point_runs_and_is_cacheable(self, experiment_id):
+        spec = REGISTRY.get(experiment_id)
+        point = spec.points(MACHINE)[0]
+        value = spec.point_fn(MACHINE, **point.params)
+        # The value crosses the process boundary and the on-disk cache.
+        canonical_json(value)

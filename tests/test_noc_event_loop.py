@@ -138,6 +138,7 @@ def random_workload(draw):
     return shape, messages, barriers
 
 
+@pytest.mark.slow
 class TestEquivalenceRandomized:
     @settings(max_examples=50, deadline=None)
     @given(random_workload())
@@ -170,6 +171,7 @@ def link_faults(draw):
     return faults, bus_stall
 
 
+@pytest.mark.slow
 class TestEquivalenceUnderInjectedFaults:
     """Satellite of ``repro.faults``: the two loops must stay byte-equal
     on randomized workloads with link-degradation windows, serialization

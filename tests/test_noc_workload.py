@@ -82,6 +82,7 @@ class TestMessageGeneration:
             messages_from_schedule(sched, net, "credit", ready_cycles=[0])
 
 
+@pytest.mark.slow
 class TestFlowControlComparison:
     def test_both_modes_complete_and_report(self, net):
         sched = allreduce_schedule(net.shape, net.shape.num_dpus * 8)

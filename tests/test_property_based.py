@@ -54,6 +54,7 @@ def shape_and_buffers(draw):
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 class TestFunctionalProperties:
     @given(data=shape_and_buffers())
     @settings(max_examples=40, deadline=None)
@@ -127,6 +128,7 @@ class TestFunctionalProperties:
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 class TestScheduleProperties:
     @given(data=shape_and_buffers())
     @settings(max_examples=25, deadline=None)

@@ -274,7 +274,9 @@ class TestRunnerConfigValidation:
         with pytest.raises(ConfigurationError):
             RunnerConfig(jobs=jobs)
 
-    @pytest.mark.parametrize("timeout", [0.0, -5.0])
+    @pytest.mark.parametrize(
+        "timeout", [0.0, -5.0, float("nan"), float("inf")]
+    )
     def test_bad_timeout_rejected(self, timeout):
         with pytest.raises(ConfigurationError):
             RunnerConfig(point_timeout_s=timeout)
