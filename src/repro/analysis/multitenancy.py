@@ -6,18 +6,33 @@ the single host link, so each sees (at best) half the bandwidth plus
 serialization; with PIMnet the inter-bank and inter-chip tiers are
 physically private to each tenant's ranks — only the inter-rank bus is
 shared — giving near-complete bandwidth isolation.
+
+Beyond the aggregate slowdown pair, the analysis reports **per-tenant
+request latency percentiles**: each repetition of a tenant's collective
+phases under contention is one "request", its latency lands in the
+shared :class:`~repro.observability.histo.LogBucketSketch` (and, when a
+metrics registry is active, in the labeled
+``tenant.request_latency_s{substrate=..., tenant=...}`` histogram
+family), and the reported p50/p99 come straight out of that sketch —
+the same percentile engine the fault campaigns and the bench harness
+use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..collectives.backend import registry
 from ..config.presets import MachineConfig, pimnet_sim_system
 from ..config.network import HostLinkConfig
 from ..config.system import PimSystemConfig
 from ..errors import ConfigurationError
-from ..workloads.base import ExecutionEngine, Workload
+from ..observability import (
+    LogBucketSketch,
+    metric_histogram,
+    metrics_active,
+)
+from ..workloads.base import CommPhase, ExecutionEngine, Workload
 
 
 @dataclass(frozen=True)
@@ -35,11 +50,25 @@ class TenantResult:
 
 
 @dataclass(frozen=True)
+class TenantLatencyStats:
+    """Request-latency percentiles of one tenant under contention."""
+
+    workload: str
+    substrate: str
+    requests: int
+    p50_s: float
+    p99_s: float
+
+
+@dataclass(frozen=True)
 class MultiTenancyResult:
     """Fig 17: both tenants under both communication substrates."""
 
     baseline: tuple[TenantResult, TenantResult]
     pimnet: tuple[TenantResult, TenantResult]
+    #: Per-tenant request latency under contention, one entry per
+    #: (substrate, tenant); percentiles come from the shared sketch.
+    latency: tuple[TenantLatencyStats, ...] = field(default=())
 
     def isolation_benefit(self) -> float:
         """Geometric-mean slowdown ratio (baseline over PIMnet)."""
@@ -102,6 +131,50 @@ def _with_bus_share(machine: MachineConfig, share: float) -> MachineConfig:
     )
 
 
+_SUBSTRATE_LABEL = {"B": "Baseline", "P": "PIMnet"}
+
+
+def _tenant_request_stats(
+    workload: Workload,
+    shared_machine: MachineConfig,
+    backend_key: str,
+) -> TenantLatencyStats:
+    """Time each collective repetition as one request; sketch the tail.
+
+    Deterministic (the timing models are closed-form), so the reported
+    p50/p99 are stable golden values; the point is that they flow
+    through the same sketch a live serving layer would populate.
+    """
+    substrate = _SUBSTRATE_LABEL[backend_key]
+    backend = registry.create(backend_key, shared_machine)
+    sketch = LogBucketSketch()
+    instrument = (
+        metric_histogram(
+            "tenant.request_latency_s",
+            {"substrate": substrate, "tenant": workload.name},
+        )
+        if metrics_active()
+        else None
+    )
+    for phase in workload.phases(shared_machine):
+        if not isinstance(phase, CommPhase):
+            continue
+        latency_s = backend.timing(phase.request).total_s
+        for _ in range(phase.repeat):
+            sketch.observe(latency_s)
+            if instrument is not None:
+                instrument.observe(latency_s)
+    p50 = sketch.quantile(50.0)
+    p99 = sketch.quantile(99.0)
+    return TenantLatencyStats(
+        workload=workload.name,
+        substrate=substrate,
+        requests=sketch.count,
+        p50_s=p50 if p50 is not None else 0.0,
+        p99_s=p99 if p99 is not None else 0.0,
+    )
+
+
 def run_multitenancy(
     tenant_a: Workload,
     tenant_b: Workload,
@@ -112,6 +185,7 @@ def run_multitenancy(
     half_ranks = max(1, machine.system.ranks_per_channel // 2)
 
     results: dict[str, list[TenantResult]] = {"B": [], "P": []}
+    latency: list[TenantLatencyStats] = []
     for backend_key in ("B", "P"):
         for workload in (tenant_a, tenant_b):
             alone_machine = _tenant_machine(machine, half_ranks)
@@ -131,7 +205,11 @@ def run_multitenancy(
                     shared_s=shared.total_s,
                 )
             )
+            latency.append(
+                _tenant_request_stats(workload, shared_machine, backend_key)
+            )
     return MultiTenancyResult(
         baseline=tuple(results["B"]),
         pimnet=tuple(results["P"]),
+        latency=tuple(latency),
     )

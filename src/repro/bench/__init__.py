@@ -1,0 +1,54 @@
+"""Wall-clock bench harness with schema-versioned artifacts.
+
+``repro bench run`` times a curated suite of end-to-end scenarios and
+writes a ``BENCH_<YYYYMMDD>_<tag>.json`` artifact; ``repro bench
+compare OLD NEW`` renders a noise-aware delta table and exits nonzero
+on regression.  See ``docs/BENCH.md``.
+"""
+
+from .artifact import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    ScenarioResult,
+    default_artifact_name,
+    load_artifact,
+    machine_fingerprint,
+    save_artifact,
+    summarize_times,
+)
+from .compare import (
+    DEFAULT_THRESHOLD,
+    CompareReport,
+    ScenarioDelta,
+    compare_artifacts,
+)
+from .harness import (
+    DEFAULT_REPEATS,
+    DEFAULT_WARMUP,
+    run_scenario,
+    run_suite,
+)
+from .scenarios import SCENARIOS, BenchScenario, get_scenario, register_scenario
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchArtifact",
+    "BenchScenario",
+    "CompareReport",
+    "DEFAULT_REPEATS",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WARMUP",
+    "SCENARIOS",
+    "ScenarioDelta",
+    "ScenarioResult",
+    "compare_artifacts",
+    "default_artifact_name",
+    "get_scenario",
+    "load_artifact",
+    "machine_fingerprint",
+    "register_scenario",
+    "run_scenario",
+    "run_suite",
+    "save_artifact",
+    "summarize_times",
+]

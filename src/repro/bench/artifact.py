@@ -1,0 +1,206 @@
+"""Schema-versioned bench artifacts: ``BENCH_<YYYYMMDD>_<tag>.json``.
+
+An artifact is a self-describing record of one suite run: per-scenario
+wall times and histogram summaries, plus a machine fingerprint (python
+/ platform / CPU count / repro code hash) so a comparison across
+artifacts can tell "the code got slower" apart from "this ran on a
+different box".  The schema is versioned; :func:`load_artifact`
+rejects files it cannot interpret instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import BenchError
+from ..observability.histo import LogBucketSketch
+
+#: Bump on any incompatible change to the artifact layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Summary statistics recorded per scenario, in artifact order.
+_SUMMARY_KEYS = ("count", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Where this artifact was produced: enough to judge comparability."""
+    from ..runner.cache import code_fingerprint
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "code": code_fingerprint(),
+    }
+
+
+def summarize_times(wall_times_s: list[float]) -> dict[str, float]:
+    """Histogram summary of one scenario's repeats, via the shared sketch."""
+    sketch = LogBucketSketch()
+    for value in wall_times_s:
+        sketch.observe(value)
+    snap = sketch.snapshot()
+    return {key: snap[key] for key in _SUMMARY_KEYS if key in snap}
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's timing record inside an artifact."""
+
+    name: str
+    description: str
+    warmup: int
+    repeats: int
+    wall_times_s: tuple[float, ...]
+    summary: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median_s(self) -> float:
+        return self.summary.get("p50", 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "wall_times_s": list(self.wall_times_s),
+            "summary": dict(self.summary),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioResult":
+        _require(data, "scenario", ("name", "wall_times_s"))
+        times = data["wall_times_s"]
+        if not isinstance(times, list) or not times or not all(
+            isinstance(t, (int, float)) and t >= 0 for t in times
+        ):
+            raise BenchError(
+                f"scenario {data.get('name')!r}: wall_times_s must be a "
+                "non-empty list of non-negative numbers"
+            )
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            warmup=int(data.get("warmup", 0)),
+            repeats=int(data.get("repeats", len(times))),
+            wall_times_s=tuple(float(t) for t in times),
+            summary=dict(data.get("summary") or summarize_times(times)),
+        )
+
+
+@dataclass(frozen=True)
+class BenchArtifact:
+    """One suite run: scenario results + provenance."""
+
+    scenarios: tuple[ScenarioResult, ...]
+    fingerprint: dict[str, Any]
+    tag: str = "pr6"
+    created_utc: str = ""
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def scenario(self, name: str) -> ScenarioResult | None:
+        for result in self.scenarios:
+            if result.name == name:
+                return result
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": "repro-bench-artifact",
+            "tag": self.tag,
+            "created_utc": self.created_utc,
+            "fingerprint": dict(self.fingerprint),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchArtifact":
+        if not isinstance(data, dict):
+            raise BenchError("bench artifact must be a JSON object")
+        version = data.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise BenchError(
+                f"unsupported bench artifact schema {version!r} "
+                f"(this build reads version {BENCH_SCHEMA_VERSION})"
+            )
+        _require(data, "artifact", ("fingerprint", "scenarios"))
+        scenarios = data["scenarios"]
+        if not isinstance(scenarios, list) or not scenarios:
+            raise BenchError("artifact has no scenarios")
+        results = tuple(ScenarioResult.from_dict(s) for s in scenarios)
+        names = [r.name for r in results]
+        if len(set(names)) != len(names):
+            raise BenchError("artifact lists a scenario twice")
+        return cls(
+            scenarios=results,
+            fingerprint=dict(data["fingerprint"]),
+            tag=str(data.get("tag", "")),
+            created_utc=str(data.get("created_utc", "")),
+            schema_version=version,
+        )
+
+    def format(self) -> str:
+        width = max(len(s.name) for s in self.scenarios)
+        lines = [
+            f"bench suite ({len(self.scenarios)} scenario(s), "
+            f"tag {self.tag!r})"
+        ]
+        for s in self.scenarios:
+            lines.append(
+                f"  {s.name:{width}s}  median "
+                f"{s.median_s * 1e3:9.3f} ms  "
+                f"(min {s.summary.get('min', 0.0) * 1e3:.3f}, "
+                f"max {s.summary.get('max', 0.0) * 1e3:.3f}; "
+                f"{s.repeats} repeat(s))"
+            )
+        return "\n".join(lines)
+
+
+def _require(data: dict, what: str, keys: tuple[str, ...]) -> None:
+    for key in keys:
+        if key not in data:
+            raise BenchError(f"bench {what} is missing field {key!r}")
+
+
+def default_artifact_name(tag: str = "pr6", when: _dt.date | None = None) -> str:
+    """The conventional artifact filename, ``BENCH_<YYYYMMDD>_<tag>.json``."""
+    when = when or _dt.datetime.now(_dt.timezone.utc).date()
+    return f"BENCH_{when.strftime('%Y%m%d')}_{tag}.json"
+
+
+def save_artifact(artifact: BenchArtifact, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(artifact.to_dict(), indent=1) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_artifact(path: str | Path) -> BenchArtifact:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BenchError(f"cannot read bench artifact {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"{path} is not valid JSON: {exc}") from exc
+    return BenchArtifact.from_dict(data)
+
+
+def utc_now_iso() -> str:
+    return (
+        _dt.datetime.now(_dt.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )

@@ -1,0 +1,204 @@
+"""Noise-aware comparison of two bench artifacts.
+
+A scenario counts as **regressed** only when its median shift clears
+two bars at once: the configured threshold (default 25%) *and* the
+repeat spread observed in either artifact.  Wall-time medians on a
+shared CI box routinely wobble by the spread of their own repeats;
+requiring the shift to exceed that wobble keeps one noisy run from
+failing the build, while a genuine slowdown — which moves the whole
+distribution, not just one repeat — still trips the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BenchError
+from .artifact import BenchArtifact, ScenarioResult
+
+#: Default regression gate: median shift beyond +25% fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+def _rel_spread(result: ScenarioResult) -> float:
+    """Repeat spread as a fraction of the median ((max-min)/median)."""
+    median = result.median_s
+    if median <= 0:
+        return 0.0
+    low = result.summary.get("min", median)
+    high = result.summary.get("max", median)
+    return max(0.0, (high - low) / median)
+
+
+@dataclass(frozen=True)
+class ScenarioDelta:
+    """One scenario's old-vs-new verdict."""
+
+    name: str
+    old_median_s: float
+    new_median_s: float
+    #: Relative median shift; +0.30 means the new run is 30% slower.
+    shift: float
+    #: Noise floor: the larger relative repeat spread of the two runs.
+    spread: float
+    regressed: bool
+    improved: bool
+
+    @property
+    def status(self) -> str:
+        if self.regressed:
+            return "REGRESSED"
+        if self.improved:
+            return "improved"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Every matched scenario's delta, plus the unmatched names."""
+
+    deltas: tuple[ScenarioDelta, ...]
+    only_old: tuple[str, ...]
+    only_new: tuple[str, ...]
+    threshold: float
+    comparable: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def regressions(self) -> tuple[ScenarioDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    def format(self) -> str:
+        width = max(
+            [len(d.name) for d in self.deltas] or [8]
+        )
+        lines = [
+            f"{'scenario':{width}s}  {'old ms':>10s}  {'new ms':>10s}  "
+            f"{'shift':>8s}  {'spread':>8s}  status"
+        ]
+        for d in self.deltas:
+            lines.append(
+                f"{d.name:{width}s}  {d.old_median_s * 1e3:10.3f}  "
+                f"{d.new_median_s * 1e3:10.3f}  {d.shift * 100:+7.1f}%  "
+                f"{d.spread * 100:7.1f}%  {d.status}"
+            )
+        for name in self.only_old:
+            lines.append(f"{name:{width}s}  (missing from NEW — skipped)")
+        for name in self.only_new:
+            lines.append(f"{name:{width}s}  (new scenario — no baseline)")
+        if not self.comparable:
+            lines.append(
+                "note: artifacts come from different machines/python; "
+                "deltas may reflect the environment, not the code"
+            )
+        verdict = (
+            "no regressions"
+            if self.ok
+            else "REGRESSION: "
+            + ", ".join(d.name for d in self.regressions)
+        )
+        lines.append(
+            f"gate: median shift > {self.threshold * 100:.0f}% and > "
+            f"repeat spread — {verdict}"
+        )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """The same table as GitHub-flavored markdown (CI step summary)."""
+        lines = [
+            "| scenario | old (ms) | new (ms) | shift | spread | status |",
+            "| --- | ---: | ---: | ---: | ---: | --- |",
+        ]
+        for d in self.deltas:
+            status = "❌ REGRESSED" if d.regressed else (
+                "✅ improved" if d.improved else "✅ ok"
+            )
+            lines.append(
+                f"| `{d.name}` | {d.old_median_s * 1e3:.3f} | "
+                f"{d.new_median_s * 1e3:.3f} | {d.shift * 100:+.1f}% | "
+                f"{d.spread * 100:.1f}% | {status} |"
+            )
+        for name in self.only_old:
+            lines.append(f"| `{name}` | — | — | — | — | missing from NEW |")
+        for name in self.only_new:
+            lines.append(f"| `{name}` | — | — | — | — | no baseline |")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "threshold": self.threshold,
+            "comparable": self.comparable,
+            "deltas": [
+                {
+                    "name": d.name,
+                    "old_median_s": d.old_median_s,
+                    "new_median_s": d.new_median_s,
+                    "shift": d.shift,
+                    "spread": d.spread,
+                    "status": d.status,
+                }
+                for d in self.deltas
+            ],
+            "only_old": list(self.only_old),
+            "only_new": list(self.only_new),
+        }
+
+
+def compare_artifacts(
+    old: BenchArtifact,
+    new: BenchArtifact,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareReport:
+    """Match scenarios by name and gate each on shift vs noise."""
+    if threshold <= 0:
+        raise BenchError(f"threshold must be > 0, got {threshold}")
+    old_names = [s.name for s in old.scenarios]
+    new_names = [s.name for s in new.scenarios]
+    deltas: list[ScenarioDelta] = []
+    for name in old_names:
+        new_result = new.scenario(name)
+        if new_result is None:
+            continue
+        old_result = old.scenario(name)
+        old_median = old_result.median_s
+        new_median = new_result.median_s
+        if old_median <= 0:
+            raise BenchError(
+                f"scenario {name!r}: baseline median is zero — "
+                "artifact is unusable as a comparison base"
+            )
+        shift = (new_median - old_median) / old_median
+        spread = max(_rel_spread(old_result), _rel_spread(new_result))
+        regressed = shift > threshold and shift > spread
+        improved = (-shift) > threshold and (-shift) > spread
+        deltas.append(
+            ScenarioDelta(
+                name=name,
+                old_median_s=old_median,
+                new_median_s=new_median,
+                shift=shift,
+                spread=spread,
+                regressed=regressed,
+                improved=improved,
+            )
+        )
+    matched = {d.name for d in deltas}
+    comparable = _same_environment(old, new)
+    return CompareReport(
+        deltas=tuple(deltas),
+        only_old=tuple(n for n in old_names if n not in matched),
+        only_new=tuple(n for n in new_names if n not in matched),
+        threshold=threshold,
+        comparable=comparable,
+    )
+
+
+def _same_environment(old: BenchArtifact, new: BenchArtifact) -> bool:
+    keys = ("python", "implementation", "platform", "machine")
+    return all(
+        old.fingerprint.get(k) == new.fingerprint.get(k) for k in keys
+    )

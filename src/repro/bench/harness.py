@@ -1,0 +1,100 @@
+"""Run the bench suite: warmup + repeats per scenario, one artifact out.
+
+Timing is plain ``perf_counter`` around the scenario body; the repeats
+land in the shared :class:`~repro.observability.histo.LogBucketSketch`
+(via :func:`~repro.bench.artifact.summarize_times`), so the artifact's
+p50/p90/p99 use the exact same percentile engine as the fault
+campaigns and the metrics registry.  When a metrics registry is
+active, each scenario also records a
+``bench.wall_s{scenario=...}`` histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..errors import BenchError
+from ..observability.metrics import metric_histogram, metrics_active
+from .artifact import (
+    BenchArtifact,
+    ScenarioResult,
+    machine_fingerprint,
+    summarize_times,
+    utc_now_iso,
+)
+from .scenarios import SCENARIOS, BenchScenario, get_scenario
+
+#: CI-friendly defaults: enough repeats to estimate spread, not minutes.
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 1
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ScenarioResult:
+    """Time one scenario: setup, warmup (untimed), repeats, teardown."""
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise BenchError(f"warmup must be >= 0, got {warmup}")
+    instrument = (
+        metric_histogram("bench.wall_s", {"scenario": scenario.name})
+        if metrics_active()
+        else None
+    )
+    state = scenario.setup()
+    try:
+        for _ in range(warmup):
+            scenario.body(state)
+        wall_times: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            scenario.body(state)
+            elapsed = time.perf_counter() - start
+            wall_times.append(elapsed)
+            if instrument is not None:
+                instrument.observe(elapsed)
+    finally:
+        scenario.teardown(state)
+    return ScenarioResult(
+        name=scenario.name,
+        description=scenario.description,
+        warmup=warmup,
+        repeats=repeats,
+        wall_times_s=tuple(wall_times),
+        summary=summarize_times(wall_times),
+    )
+
+
+def run_suite(
+    names: Sequence[str] | None = None,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    tag: str = "pr6",
+    progress=None,
+) -> BenchArtifact:
+    """Run the named scenarios (default: all, registry order).
+
+    ``progress`` is an optional callable invoked with each scenario's
+    :class:`ScenarioResult` as it completes (the CLI prints them live).
+    """
+    scenarios = (
+        [get_scenario(name) for name in names]
+        if names
+        else list(SCENARIOS.values())
+    )
+    results: list[ScenarioResult] = []
+    for scenario in scenarios:
+        result = run_scenario(scenario, repeats=repeats, warmup=warmup)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return BenchArtifact(
+        scenarios=tuple(results),
+        fingerprint=machine_fingerprint(),
+        tag=tag,
+        created_utc=utc_now_iso(),
+    )

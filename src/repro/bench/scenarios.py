@@ -1,0 +1,198 @@
+"""The curated bench suite: small, timed, end-to-end scenarios.
+
+Each scenario exercises one hot path of the reproduction — the NoC
+simulator at its saturation point, the schedule compiler + functional
+executor, the experiment runner against a cold and a warm cache, and a
+warm conformance-matrix rerun.  A scenario's ``body`` is the timed
+unit: it must be self-contained and repeatable (every call sees the
+same starting state), so warmup + repeats produce comparable samples.
+``setup`` runs once, untimed, and may return state the body needs;
+``teardown`` releases it.
+
+Scenarios are deliberately *seconds-scale or below*: the suite exists
+to catch order-25% regressions in CI, not to be a microbenchmark rig.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import BenchError
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One timed scenario: ``body(state)`` is the unit the harness times."""
+
+    name: str
+    description: str
+    body: Callable[[Any], None]
+    setup: Callable[[], Any] = field(default=lambda: None)
+    teardown: Callable[[Any], None] = field(default=lambda state: None)
+
+
+SCENARIOS: dict[str, BenchScenario] = {}
+
+
+def register_scenario(scenario: BenchScenario) -> BenchScenario:
+    if scenario.name in SCENARIOS:
+        raise BenchError(f"duplicate bench scenario {scenario.name!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> BenchScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown bench scenario {name!r} "
+            f"(available: {', '.join(sorted(SCENARIOS))})"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Scenario bodies.
+# --------------------------------------------------------------------------
+
+#: Experiment the runner scenarios sweep: analytic, a few sweep points,
+#: ~100 ms serial — big enough to time, small enough for CI.
+_RUNNER_EXPERIMENT = "fig11"
+
+
+def _noc_saturation(_: Any) -> None:
+    from ..experiments.noc_load_latency import high_load_workload
+    from ..noc import NocSimulator
+
+    network, messages = high_load_workload()
+    NocSimulator(network, messages).run()
+
+
+def _schedule_compile_execute(_: Any) -> None:
+    import numpy as np
+
+    from ..collectives.patterns import Collective
+    from ..core.schedule import Shape, build_schedule, execute_schedule
+
+    shape = Shape(banks=8, chips=4, ranks=2)
+    schedule = build_schedule(Collective.ALL_REDUCE, shape, 8192)
+    rng = np.random.default_rng(1234)
+    inputs = [
+        rng.standard_normal(8192) for _ in range(shape.num_dpus)
+    ]
+    execute_schedule(schedule, inputs)
+
+
+def _runner_cold(_: Any) -> None:
+    from ..config.runner import RunnerConfig
+    from ..runner import run_experiment
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        run_experiment(
+            _RUNNER_EXPERIMENT,
+            runner=RunnerConfig(cache_dir=cache_dir),
+        )
+
+
+def _runner_warm_setup() -> str:
+    from ..config.runner import RunnerConfig
+    from ..runner import run_experiment
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-")
+    run_experiment(
+        _RUNNER_EXPERIMENT, runner=RunnerConfig(cache_dir=cache_dir)
+    )
+    return cache_dir
+
+
+def _runner_warm(cache_dir: str) -> None:
+    from ..config.runner import RunnerConfig
+    from ..runner import run_experiment
+
+    run_experiment(
+        _RUNNER_EXPERIMENT, runner=RunnerConfig(cache_dir=cache_dir)
+    )
+
+
+def _conformance_config():
+    from ..config.conformance import ConformanceConfig
+
+    # A sub-matrix sized for timing: every collective family is present
+    # but shapes/payloads are trimmed so a warm rerun stays well under a
+    # second.
+    return ConformanceConfig(
+        collectives=("all_reduce", "all_to_all", "broadcast"),
+        shapes=((2, 2, 1), (2, 2, 2), (4, 2, 2)),
+        payload_bytes=(256, 4096),
+    )
+
+
+def _conformance_warm_setup() -> str:
+    from ..conformance import run_matrix
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-")
+    run_matrix(_conformance_config(), cache_dir=cache_dir)
+    return cache_dir
+
+
+def _conformance_warm(cache_dir: str) -> None:
+    from ..conformance import run_matrix
+
+    run_matrix(_conformance_config(), cache_dir=cache_dir)
+
+
+def _rmtree(path: str) -> None:
+    shutil.rmtree(path, ignore_errors=True)
+
+
+register_scenario(
+    BenchScenario(
+        name="noc_saturation",
+        description=(
+            "event-driven NoC simulation of the saturating load point"
+        ),
+        body=_noc_saturation,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="schedule_compile_execute",
+        description=(
+            "AllReduce schedule build + functional replay on a "
+            "64-DPU shape"
+        ),
+        body=_schedule_compile_execute,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="runner_sweep_cold",
+        description=(
+            f"'{_RUNNER_EXPERIMENT}' sweep against an empty result cache"
+        ),
+        body=_runner_cold,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="runner_sweep_warm",
+        description=(
+            f"'{_RUNNER_EXPERIMENT}' sweep fully served from the cache"
+        ),
+        body=_runner_warm,
+        setup=_runner_warm_setup,
+        teardown=_rmtree,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="conformance_warm",
+        description="conformance sub-matrix rerun with every point cached",
+        body=_conformance_warm,
+        setup=_conformance_warm_setup,
+        teardown=_rmtree,
+    )
+)

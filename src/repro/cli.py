@@ -19,6 +19,9 @@ Usage::
     python -m repro conformance run      # cross-model agreement matrix
     python -m repro conformance run --mutate drop-flit   # sensitivity
     python -m repro conformance shrink conformance-*.json
+    python -m repro bench list           # curated timed scenarios
+    python -m repro bench run --out BENCH_new.json
+    python -m repro bench compare BENCH_old.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -225,6 +228,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print("(or pass a JSON campaign file; see docs/FAULTS.md)")
         return 0
 
+    instrumentation = _run_instrumentation(args)
     try:
         campaign = _resolve_campaign(args.campaign)
         overrides = {}
@@ -236,15 +240,20 @@ def cmd_faults(args: argparse.Namespace) -> int:
             overrides["payload_bytes"] = parse_bytes(args.payload)
         if overrides:
             campaign = replace(campaign, **overrides)
-        result = run_campaign(campaign, pimnet_sim_system())
+        with instrumentation.activate():
+            result = run_campaign(campaign, pimnet_sim_system())
+            slo_report = _evaluate_slo_file(getattr(args, "slo", None))
     except (ReproError, ValueError, OSError) as exc:
         print(f"faults run failed: {exc}", file=sys.stderr)
         return 1
     summary = result.summary()
+    slo_failed = slo_report is not None and not slo_report.ok
     if getattr(args, "json", False):
         summary["seed"] = campaign.seed
+        if slo_report is not None:
+            summary["slo"] = slo_report.to_dict()
         print(json.dumps(summary, indent=1))
-        return 0
+        return _write_outputs(instrumentation) or (1 if slo_failed else 0)
     print(
         f"campaign {summary['name']!r}: {summary['trials']} trials, "
         f"seed {campaign.seed}"
@@ -264,7 +273,24 @@ def cmd_faults(args: argparse.Namespace) -> int:
         f"p99 {summary['p99_latency_s'] * 1e6:.1f} us, "
         f"p999 {summary['p999_latency_s'] * 1e6:.1f} us"
     )
-    return 0
+    if slo_report is not None:
+        print(slo_report.format())
+    return _write_outputs(instrumentation) or (1 if slo_failed else 0)
+
+
+def _evaluate_slo_file(path: str | None):
+    """Evaluate ``--slo`` objectives against the active registry."""
+    if path is None:
+        return None
+    from .observability import evaluate_slos, load_objectives
+    from .observability.metrics import active_metrics
+
+    registry = active_metrics()
+    if registry is None:
+        raise ConfigurationError(
+            "--slo needs a metrics registry; pass --metrics PATH too"
+        )
+    return evaluate_slos(registry, load_objectives(path))
 
 
 def _resolve_campaign(ref: str):
@@ -361,13 +387,15 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    instrumentation = _run_instrumentation(args)
     try:
-        report = run_matrix(
-            config,
-            mutation=mutation,
-            cache_enabled=args.cache,
-            cache_dir=args.cache_dir,
-        )
+        with instrumentation.activate():
+            report = run_matrix(
+                config,
+                mutation=mutation,
+                cache_enabled=args.cache,
+                cache_dir=args.cache_dir,
+            )
     except ReproError as exc:
         print(f"conformance run failed: {exc}", file=sys.stderr)
         return 1
@@ -409,7 +437,84 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         print(report.format())
         for path in reproducers:
             print(f"wrote reproducer {path}")
+    if _write_outputs(instrumentation):
+        return 1
     return 0 if report.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        SCENARIOS,
+        compare_artifacts,
+        default_artifact_name,
+        load_artifact,
+        run_suite,
+        save_artifact,
+    )
+
+    if args.bench_command == "list":
+        entries = [
+            {"name": s.name, "description": s.description}
+            for s in SCENARIOS.values()
+        ]
+        if getattr(args, "json", False):
+            print(json.dumps({"scenarios": entries}, indent=1))
+            return 0
+        print("bench scenarios:")
+        for entry in entries:
+            print(f"  {entry['name']:24s} {entry['description']}")
+        return 0
+
+    if args.bench_command == "compare":
+        try:
+            report = compare_artifacts(
+                load_artifact(args.old),
+                load_artifact(args.new),
+                threshold=args.threshold,
+            )
+        except ReproError as exc:
+            print(f"bench compare failed: {exc}", file=sys.stderr)
+            return 2
+        if getattr(args, "json", False):
+            print(json.dumps(report.to_dict(), indent=1))
+        elif getattr(args, "markdown", False):
+            print(report.to_markdown())
+        else:
+            print(report.format())
+        return 0 if report.ok else 1
+
+    # run
+    instrumentation = _run_instrumentation(args)
+    try:
+        with instrumentation.activate():
+            artifact = run_suite(
+                names=args.scenario or None,
+                repeats=args.repeats,
+                warmup=args.warmup,
+                tag=args.tag,
+                progress=None
+                if getattr(args, "json", False)
+                else lambda r: print(
+                    f"  {r.name:24s} median {r.median_s * 1e3:9.3f} ms "
+                    f"({r.repeats} repeat(s))",
+                    file=sys.stderr,
+                ),
+            )
+    except ReproError as exc:
+        print(f"bench run failed: {exc}", file=sys.stderr)
+        return 1
+    out = args.out or default_artifact_name(args.tag)
+    try:
+        path = save_artifact(artifact, out)
+    except OSError as exc:
+        print(f"cannot write bench artifact: {exc}", file=sys.stderr)
+        return 1
+    if getattr(args, "json", False):
+        print(json.dumps(artifact.to_dict(), indent=1))
+    else:
+        print(artifact.format())
+        print(f"wrote {path}")
+    return _write_outputs(instrumentation)
 
 
 def cmd_verify(_: argparse.Namespace) -> int:
@@ -754,6 +859,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the payload, e.g. 64KB or 1MB (binary units)",
     )
     p_faults_run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the final metrics snapshot (counters + latency "
+        "histograms) to PATH (.csv for CSV, .prom for Prometheus, "
+        "else JSON)",
+    )
+    p_faults_run.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="evaluate declarative SLO objectives (JSON, see "
+        "docs/OBSERVABILITY.md) against the campaign's metrics; "
+        "violations exit nonzero (requires --metrics)",
+    )
+    p_faults_run.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p_faults_run.set_defaults(func=cmd_faults)
@@ -819,6 +940,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: current directory)",
     )
     p_conf_run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the final metrics snapshot to PATH "
+        "(.csv for CSV, .prom for Prometheus, else JSON)",
+    )
+    p_conf_run.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p_conf_run.set_defaults(func=cmd_conformance)
@@ -847,6 +975,90 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: overwrite the input)",
     )
     p_conf_shrink.set_defaults(func=cmd_conformance)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the curated scenario suite; compare artifacts",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_list = bench_sub.add_parser(
+        "list", help="enumerate the bench scenarios"
+    )
+    p_bench_list.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_bench_list.set_defaults(func=cmd_bench)
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run the suite and write a BENCH_*.json artifact"
+    )
+    p_bench_run.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p_bench_run.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        metavar="N",
+        help="timed repetitions per scenario (default: 5)",
+    )
+    p_bench_run.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="N",
+        help="untimed warmup runs per scenario (default: 1)",
+    )
+    p_bench_run.add_argument(
+        "--tag",
+        default="pr6",
+        metavar="TAG",
+        help="artifact tag, part of the default filename (default: pr6)",
+    )
+    p_bench_run.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="artifact path (default: BENCH_<YYYYMMDD>_<tag>.json)",
+    )
+    p_bench_run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="also write the bench.wall_s metric snapshot to PATH",
+    )
+    p_bench_run.add_argument(
+        "--json", action="store_true", help="emit the artifact on stdout"
+    )
+    p_bench_run.set_defaults(func=cmd_bench)
+    p_bench_compare = bench_sub.add_parser(
+        "compare",
+        help="noise-aware delta table; exits nonzero on regression",
+    )
+    p_bench_compare.add_argument(
+        "old", help="baseline BENCH_*.json artifact"
+    )
+    p_bench_compare.add_argument(
+        "new", help="candidate BENCH_*.json artifact"
+    )
+    p_bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="relative median-shift gate (default: 0.25 = +25%%)",
+    )
+    p_bench_compare.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the delta table as GitHub-flavored markdown",
+    )
+    p_bench_compare.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_bench_compare.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -80,6 +80,13 @@ def _instrumented_timing(inner: Callable) -> Callable:
             metric_histogram(f"backend.{self.key}.timing_s").observe(
                 breakdown.total_s
             )
+            metric_histogram(
+                "collective.latency_s",
+                {
+                    "backend": self.key,
+                    "collective": request.pattern.value,
+                },
+            ).observe(breakdown.total_s)
             return breakdown
 
     timing._repro_instrumented = True  # type: ignore[attr-defined]

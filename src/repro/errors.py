@@ -115,3 +115,8 @@ class PointExecutionError(RunnerError):
         super().__init__(message)
         self.experiment_id = experiment_id
         self.params = dict(params) if params else {}
+
+
+class BenchError(ReproError):
+    """The bench harness was misused: unknown scenario, malformed or
+    schema-incompatible artifact, or an ill-formed comparison."""

@@ -28,7 +28,17 @@ def build_tables(result: MultiTenancyResult) -> tuple[ExperimentTable, ...]:
                     f"{tenant.interference_slowdown:.2f}x",
                 )
             )
-    return (
+    latency_rows = tuple(
+        (
+            stats.substrate,
+            stats.workload,
+            str(stats.requests),
+            f"{stats.p50_s * 1e6:.1f}",
+            f"{stats.p99_s * 1e6:.1f}",
+        )
+        for stats in result.latency
+    )
+    tables = [
         ExperimentTable(
             "Fig 17",
             "Spatially mapped tenants: interference slowdown",
@@ -40,7 +50,22 @@ def build_tables(result: MultiTenancyResult) -> tuple[ExperimentTable, ...]:
                 "lower interference (geomean)"
             ),
         ),
-    )
+    ]
+    if latency_rows:
+        tables.append(
+            ExperimentTable(
+                "Fig 17b",
+                "Per-tenant request latency under contention",
+                ("substrate", "tenant", "requests", "p50 (us)", "p99 (us)"),
+                latency_rows,
+                notes=(
+                    "per-request collective latency on the co-located "
+                    "machine; percentiles from the shared log-bucket "
+                    "sketch (repro.observability.histo)"
+                ),
+            )
+        )
+    return tuple(tables)
 
 
 def format_table(result: MultiTenancyResult) -> str:

@@ -10,13 +10,18 @@ interpolation-order surprises across numpy versions.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..config.faults import FaultCampaignConfig, FaultModelConfig
 from ..config.presets import MachineConfig
 from ..errors import FaultError
-from ..observability import metric_counter, observability_active, trace_span
+from ..observability import (
+    LogBucketSketch,
+    metric_counter,
+    metric_histogram,
+    observability_active,
+    trace_span,
+)
 from .engine import collective_under_faults
 from .model import sample_fault_set
 
@@ -83,14 +88,23 @@ def trial_seed(campaign_seed: int, trial: int) -> int:
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in (0, 100])."""
+    """Nearest-rank percentile of ``values`` (``q`` in (0, 100]).
+
+    Delegates to the shared :class:`LogBucketSketch`, the one percentile
+    engine the repo uses (metric histograms, bench summaries, per-tenant
+    latencies) — exact here, since campaign samples stay far below the
+    sketch's exact-mode cap.
+    """
     if not 0.0 < q <= 100.0:
         raise FaultError(f"percentile q must be in (0, 100], got {q}")
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    sketch = LogBucketSketch()
+    for value in values:
+        sketch.observe(value)
+    result = sketch.quantile(q)
+    assert result is not None
+    return result
 
 
 @dataclass(frozen=True)
@@ -248,4 +262,12 @@ def run_campaign(
             })
         metric_counter("faults.campaigns").inc()
         metric_counter("faults.trials").inc(len(outcomes))
+        labels = {"campaign": campaign.name}
+        latency = metric_histogram("faults.latency_s", labels)
+        for outcome in outcomes:
+            metric_counter(
+                f"faults.outcome.{outcome.status}", labels
+            ).inc()
+            if outcome.status != "aborted":
+                latency.observe(outcome.time_s)
     return result

@@ -95,6 +95,9 @@ class SimStats:
     retry_cycles_paid: int = 0
     per_message_latency: dict[int, int] = field(default_factory=dict)
     link_busy_cycles: dict[str, int] = field(default_factory=dict)
+    #: input-buffer high-water mark per link, in flits (the per-link
+    #: companion to the global ``peak_buffer_occupancy``)
+    link_peak_queue_flits: dict[str, int] = field(default_factory=dict)
     #: output link name -> granted input port names, in grant order
     grant_log: dict[str, list[str]] = field(default_factory=dict)
     #: medium name -> granted member link names, in grant order

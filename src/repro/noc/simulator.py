@@ -33,7 +33,13 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
-from ..observability import metric_counter, metric_gauge, trace_span
+from ..observability import (
+    metric_counter,
+    metric_gauge,
+    metric_histogram,
+    metrics_active,
+    trace_span,
+)
 from .flit import Flit, Message, SimStats
 from .links import Link, SharedMedium
 from .network import NocNetwork
@@ -195,7 +201,33 @@ class NocSimulator:
             metric_gauge("noc.peak_buffer_occupancy").max(
                 stats.peak_buffer_occupancy
             )
+            if metrics_active():
+                self._record_distributions(stats)
             return stats
+
+    def _record_distributions(self, stats: SimStats) -> None:
+        """Post-run distribution metrics, derived from the finished stats.
+
+        Reading the stats object after the fact keeps the cycle loops
+        untouched: per-link occupancy and per-message latency are
+        already accumulated there, so histograms cost nothing on the
+        hot path and the loops stay byte-identical with metrics on.
+        """
+        latency = metric_histogram("noc.message.latency_cycles")
+        for cycles in stats.per_message_latency.values():
+            latency.observe(cycles)
+        utilization = metric_histogram("noc.link.utilization")
+        for name, busy in stats.link_busy_cycles.items():
+            metric_counter("noc.link.busy_cycles", {"link": name}).inc(
+                busy
+            )
+            utilization.observe(stats.link_utilization(name))
+        queue_depth = metric_histogram("noc.link.queue_depth_flits")
+        for name, peak in stats.link_peak_queue_flits.items():
+            queue_depth.observe(peak)
+            metric_gauge(
+                "noc.link.peak_queue_flits", {"link": name}
+            ).max(peak)
 
     # -- shared setup -----------------------------------------------------------------
     def _prepare(self) -> _RunState:
@@ -343,8 +375,11 @@ class NocSimulator:
                     self._req_inc(state, head.next_link)
             state.buffered.add(link)
             occupancy = len(link.buffer)
-            if occupancy > state.stats.peak_buffer_occupancy:
-                state.stats.peak_buffer_occupancy = occupancy
+            stats = state.stats
+            if occupancy > stats.peak_buffer_occupancy:
+                stats.peak_buffer_occupancy = occupancy
+            if occupancy > stats.link_peak_queue_flits.get(link.name, 0):
+                stats.link_peak_queue_flits[link.name] = occupancy
         return moved
 
     def _eject(self, link: Link, state: _RunState, now: int) -> None:

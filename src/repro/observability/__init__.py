@@ -36,22 +36,32 @@ from .export import (
     format_span_tree,
     metrics_to_csv,
     metrics_to_json,
+    metrics_to_prometheus,
     to_chrome_trace,
     write_chrome_trace,
     write_metrics,
 )
+from .histo import LogBucketSketch
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     active_metrics,
+    instrument_key,
     metric_counter,
     metric_gauge,
     metric_histogram,
     metrics_active,
     set_active_metrics,
     use_metrics,
+)
+from .slo import (
+    SloCheck,
+    SloObjective,
+    SloReport,
+    evaluate_slos,
+    load_objectives,
 )
 from .tracer import (
     NULL_SPAN,
@@ -82,9 +92,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "LogBucketSketch",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "SloCheck",
+    "SloObjective",
+    "SloReport",
     "Span",
     "TraceConfig",
     "Tracer",
@@ -93,13 +107,17 @@ __all__ = [
     "build_instrumentation",
     "chrome_trace_events",
     "current_span",
+    "evaluate_slos",
     "format_span_tree",
+    "instrument_key",
+    "load_objectives",
     "metric_counter",
     "metric_gauge",
     "metric_histogram",
     "metrics_active",
     "metrics_to_csv",
     "metrics_to_json",
+    "metrics_to_prometheus",
     "observability_active",
     "set_active_metrics",
     "set_active_tracer",

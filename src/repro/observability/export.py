@@ -23,9 +23,11 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
+import re
 from typing import Any
 
-from .metrics import MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import Span, Tracer
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "format_span_tree",
     "metrics_to_csv",
     "metrics_to_json",
+    "metrics_to_prometheus",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_metrics",
@@ -248,7 +251,7 @@ def metrics_to_json(registry: MetricsRegistry) -> dict[str, Any]:
 
 _CSV_COLUMNS = (
     "name", "kind", "value", "updates", "count", "sum", "min", "max",
-    "mean", "p50",
+    "mean", "p50", "p90", "p99", "p999",
 )
 
 
@@ -267,10 +270,114 @@ def metrics_to_csv(registry: MetricsRegistry) -> str:
 
 
 def write_metrics(registry: MetricsRegistry, path: str) -> None:
-    """Write the metrics dump; ``.csv`` paths get CSV, anything else JSON."""
+    """Write the metrics dump by suffix: ``.csv`` CSV, ``.prom``/``.txt``
+    Prometheus text exposition, anything else JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         if path.endswith(".csv"):
             handle.write(metrics_to_csv(registry))
+        elif path.endswith((".prom", ".txt")):
+            handle.write(metrics_to_prometheus(registry))
         else:
             json.dump(metrics_to_json(registry), handle, indent=1)
             handle.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition format.
+# --------------------------------------------------------------------------
+
+_PROM_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Metric names: dots and dashes become underscores."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _PROM_NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_name(name: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not _PROM_LABEL_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_escape(value: str) -> str:
+    """Label-value escaping per the exposition rules: \\, ", newline."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict[str, str], extra: str | None = None) -> str:
+    pairs = [
+        f'{_prom_label_name(k)}="{_prom_escape(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra is not None:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _prom_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    One ``# TYPE`` header per family; counters gain the conventional
+    ``_total`` suffix, histograms render as cumulative ``_bucket{le=...}``
+    series (log-bucket upper bounds from the shared sketch) plus
+    ``_sum``/``_count``.  Gauges with no observation yet are skipped —
+    Prometheus has no "unset" value.
+    """
+    families: dict[str, list[Counter | Gauge | Histogram]] = {}
+    kinds: dict[str, str] = {}
+    for instrument in registry.all_instruments():
+        families.setdefault(instrument.name, []).append(instrument)
+        kinds[instrument.name] = instrument.kind
+    lines: list[str] = []
+    for family in sorted(families):
+        kind = kinds[family]
+        base = _prom_name(family)
+        if kind == "counter":
+            base += "_total"
+        lines.append(f"# HELP {base} repro metric {family}")
+        lines.append(f"# TYPE {base} {kind}")
+        for instrument in families[family]:
+            labels = instrument.labels
+            if kind == "counter":
+                lines.append(
+                    f"{base}{_prom_labels(labels)} "
+                    f"{_prom_number(instrument.value)}"
+                )
+            elif kind == "gauge":
+                if instrument.value is None:
+                    continue
+                lines.append(
+                    f"{base}{_prom_labels(labels)} "
+                    f"{_prom_number(instrument.value)}"
+                )
+            else:
+                for upper, cumulative in instrument.sketch.cumulative_buckets():
+                    le = f'le="{_prom_number(upper)}"'
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(labels, le)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{base}_sum{_prom_labels(labels)} "
+                    f"{_prom_number(instrument.sum)}"
+                )
+                lines.append(
+                    f"{base}_count{_prom_labels(labels)} {instrument.count}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

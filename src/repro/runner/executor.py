@@ -24,7 +24,13 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from ..config.runner import RunnerConfig
 from ..errors import PointExecutionError, RunnerError
-from ..observability.metrics import metric_counter
+from ..observability.metrics import (
+    MetricsRegistry,
+    active_metrics,
+    metric_counter,
+    metrics_active,
+    use_metrics,
+)
 from .cache import ResultCache, cache_key, code_fingerprint
 from .registry import REGISTRY
 from .spec import ExperimentSpec, SweepPoint
@@ -175,12 +181,25 @@ def _execute_point(
     machine: "MachineConfig",
     params: dict[str, Any],
     worker_import: str | None = None,
+    collect_metrics: bool = False,
 ) -> Any:
-    """Worker-side entry: resolve the spec in this process and run it."""
+    """Worker-side entry: resolve the spec in this process and run it.
+
+    With ``collect_metrics`` the point runs under a fresh registry and
+    returns ``(value, registry.to_dict())`` so the parent can fold the
+    worker's counters/histograms into its own registry — without it,
+    metrics recorded in a forked worker would mutate the worker's copy
+    of the global registry and silently vanish with the process.
+    """
     if worker_import:
         importlib.import_module(worker_import)
     spec = REGISTRY.get(experiment_id)
-    return spec.point_fn(machine, **params)
+    if not collect_metrics:
+        return spec.point_fn(machine, **params)
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        value = spec.point_fn(machine, **params)
+    return value, registry.to_dict()
 
 
 def _run_serial_point(
@@ -222,6 +241,11 @@ def _run_parallel(
         max_workers=min(runner.jobs, len(points)),
         mp_context=_mp_context(),
     )
+    # Fork-pool workers mutate their own copy of the active registry, so
+    # anything observed inside a point would vanish with the worker.
+    # When the parent has metrics on, each worker instead records into a
+    # fresh registry and ships it back alongside the value.
+    collect_metrics = metrics_active()
     futures: list[Future] = []
     try:
         for point in points:
@@ -232,12 +256,19 @@ def _run_parallel(
                     machine,
                     point.params,
                     spec.worker_import,
+                    collect_metrics,
                 )
             )
         values: list[Any] = []
         for point, future in zip(points, futures):
             try:
-                values.append(future.result(timeout=runner.point_timeout_s))
+                result = future.result(timeout=runner.point_timeout_s)
+                if collect_metrics:
+                    value, worker_metrics = result
+                    active_metrics().merge(worker_metrics)
+                    values.append(value)
+                else:
+                    values.append(result)
             except FutureTimeoutError as exc:
                 raise _point_error(
                     spec,

@@ -1,0 +1,280 @@
+"""Bench harness: artifacts, noise-aware compare, suite, CLI gating."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchScenario,
+    ScenarioResult,
+    compare_artifacts,
+    default_artifact_name,
+    load_artifact,
+    machine_fingerprint,
+    run_scenario,
+    run_suite,
+    save_artifact,
+    summarize_times,
+)
+from repro.bench.scenarios import SCENARIOS
+from repro.cli import main
+from repro.errors import BenchError
+
+
+def _result(name, times, **kwargs):
+    return ScenarioResult(
+        name=name,
+        description=kwargs.get("description", ""),
+        warmup=kwargs.get("warmup", 0),
+        repeats=len(times),
+        wall_times_s=tuple(times),
+        summary=summarize_times(list(times)),
+    )
+
+
+def _artifact(results, tag="pr6"):
+    return BenchArtifact(
+        scenarios=tuple(results),
+        fingerprint=machine_fingerprint(),
+        tag=tag,
+        created_utc="2026-08-08T00:00:00+00:00",
+    )
+
+
+class TestArtifact:
+    def test_save_load_round_trip(self, tmp_path):
+        artifact = _artifact([_result("a", [0.01, 0.012, 0.011])])
+        path = save_artifact(artifact, tmp_path / "BENCH_x.json")
+        loaded = load_artifact(path)
+        assert loaded.to_dict() == artifact.to_dict()
+        assert loaded.scenario("a").median_s == pytest.approx(0.011)
+
+    def test_schema_version_is_enforced(self, tmp_path):
+        artifact = _artifact([_result("a", [0.01])])
+        data = artifact.to_dict()
+        data["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(BenchError, match="unsupported bench artifact"):
+            load_artifact(path)
+
+    def test_malformed_artifacts_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(BenchError, match="not valid JSON"):
+            load_artifact(bad)
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "fingerprint": {},
+            "scenarios": [],
+        }))
+        with pytest.raises(BenchError, match="no scenarios"):
+            load_artifact(empty)
+        with pytest.raises(BenchError, match="wall_times_s"):
+            ScenarioResult.from_dict({"name": "a", "wall_times_s": []})
+
+    def test_duplicate_scenarios_rejected(self):
+        data = _artifact(
+            [_result("a", [0.01]), _result("a", [0.02])]
+        ).to_dict()
+        with pytest.raises(BenchError, match="twice"):
+            BenchArtifact.from_dict(data)
+
+    def test_fingerprint_names_the_environment(self):
+        fingerprint = machine_fingerprint()
+        assert {"python", "platform", "cpu_count", "code"} <= set(
+            fingerprint
+        )
+        assert len(fingerprint["code"]) == 64  # sha-256 hex
+
+    def test_default_name_embeds_date_and_tag(self):
+        import datetime
+
+        name = default_artifact_name(
+            "pr6", when=datetime.date(2026, 8, 8)
+        )
+        assert name == "BENCH_20260808_pr6.json"
+
+
+class TestCompare:
+    def test_clear_regression_is_named(self):
+        old = _artifact([
+            _result("fast", [0.010, 0.011, 0.010]),
+            _result("steady", [0.020, 0.021, 0.020]),
+        ])
+        new = _artifact([
+            _result("fast", [0.020, 0.021, 0.020]),  # 2x slower
+            _result("steady", [0.020, 0.021, 0.020]),
+        ])
+        report = compare_artifacts(old, new)
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["fast"]
+        assert "REGRESSION: fast" in report.format()
+
+    def test_shift_within_noise_is_not_a_regression(self):
+        # Median moves +40%, but the repeats themselves span 2x: the
+        # shift is indistinguishable from run-to-run wobble.
+        old = _artifact([_result("noisy", [0.010, 0.020, 0.010])])
+        new = _artifact([_result("noisy", [0.014, 0.028, 0.014])])
+        report = compare_artifacts(old, new, threshold=0.25)
+        assert report.ok
+        assert report.deltas[0].shift == pytest.approx(0.4)
+        assert report.deltas[0].spread >= report.deltas[0].shift
+
+    def test_improvement_is_reported_not_failed(self):
+        old = _artifact([_result("a", [0.020, 0.021, 0.020])])
+        new = _artifact([_result("a", [0.010, 0.011, 0.010])])
+        report = compare_artifacts(old, new)
+        assert report.ok
+        assert report.deltas[0].status == "improved"
+
+    def test_unmatched_scenarios_are_listed_not_gated(self):
+        old = _artifact([_result("gone", [0.01]), _result("kept", [0.01])])
+        new = _artifact([_result("kept", [0.01]), _result("added", [0.01])])
+        report = compare_artifacts(old, new)
+        assert report.ok
+        assert report.only_old == ("gone",)
+        assert report.only_new == ("added",)
+
+    def test_zero_baseline_is_an_error(self):
+        old = _artifact([_result("z", [0.0, 0.0])])
+        new = _artifact([_result("z", [0.01, 0.01])])
+        with pytest.raises(BenchError, match="median is zero"):
+            compare_artifacts(old, new)
+
+    def test_bad_threshold_rejected(self):
+        artifact = _artifact([_result("a", [0.01])])
+        with pytest.raises(BenchError, match="threshold"):
+            compare_artifacts(artifact, artifact, threshold=0.0)
+
+    def test_markdown_table_renders_every_row(self):
+        old = _artifact([_result("a", [0.010]), _result("b", [0.010])])
+        new = _artifact([_result("a", [0.030]), _result("b", [0.010])])
+        md = compare_artifacts(old, new).to_markdown()
+        assert md.startswith("| scenario |")
+        assert "REGRESSED" in md and "`a`" in md and "`b`" in md
+
+
+class TestHarness:
+    def test_run_scenario_times_setup_teardown(self):
+        calls = []
+        scenario = BenchScenario(
+            name="toy",
+            description="",
+            body=lambda state: calls.append(("body", state)),
+            setup=lambda: calls.append(("setup", None)) or "state",
+            teardown=lambda state: calls.append(("teardown", state)),
+        )
+        result = run_scenario(scenario, repeats=3, warmup=2)
+        assert result.repeats == 3 and result.warmup == 2
+        assert len(result.wall_times_s) == 3
+        assert result.summary["count"] == 3
+        assert calls[0] == ("setup", None)
+        assert calls[-1] == ("teardown", "state")
+        assert sum(1 for c in calls if c[0] == "body") == 5
+
+    def test_teardown_runs_even_when_the_body_raises(self):
+        torn = []
+        scenario = BenchScenario(
+            name="boom",
+            description="",
+            body=lambda state: 1 / 0,
+            teardown=lambda state: torn.append(True),
+        )
+        with pytest.raises(ZeroDivisionError):
+            run_scenario(scenario, repeats=1, warmup=0)
+        assert torn == [True]
+
+    def test_invalid_counts_rejected(self):
+        scenario = SCENARIOS["schedule_compile_execute"]
+        with pytest.raises(BenchError, match="repeats"):
+            run_scenario(scenario, repeats=0)
+        with pytest.raises(BenchError, match="warmup"):
+            run_scenario(scenario, repeats=1, warmup=-1)
+
+    def test_curated_suite_registers_the_issue_scenarios(self):
+        assert {
+            "noc_saturation",
+            "schedule_compile_execute",
+            "runner_sweep_cold",
+            "runner_sweep_warm",
+            "conformance_warm",
+        } <= set(SCENARIOS)
+
+    def test_run_suite_subset_produces_a_valid_artifact(self, tmp_path):
+        artifact = run_suite(
+            names=["schedule_compile_execute"], repeats=2, warmup=0,
+            tag="test",
+        )
+        assert artifact.tag == "test"
+        assert artifact.schema_version == BENCH_SCHEMA_VERSION
+        path = save_artifact(artifact, tmp_path / "BENCH_t.json")
+        loaded = load_artifact(path)
+        [result] = loaded.scenarios
+        assert result.name == "schedule_compile_execute"
+        assert all(t > 0 for t in result.wall_times_s)
+
+    def test_unknown_scenario_is_an_error(self):
+        with pytest.raises(BenchError, match="unknown bench scenario"):
+            run_suite(names=["nope"], repeats=1)
+
+
+class TestCli:
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_writes_schema_valid_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_run.json"
+        assert main([
+            "bench", "run",
+            "--scenario", "schedule_compile_execute",
+            "--repeats", "2", "--warmup", "0",
+            "--out", str(out_path),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        artifact = load_artifact(out_path)
+        assert artifact.scenario("schedule_compile_execute") is not None
+
+    def test_compare_exits_nonzero_naming_the_slowed_scenario(
+        self, tmp_path, capsys
+    ):
+        base = _artifact([
+            _result("schedule_compile_execute", [0.010, 0.011, 0.010]),
+            _result("noc_saturation", [0.100, 0.101, 0.100]),
+        ])
+        slowed = _artifact([
+            # Artificially slowed well past threshold + spread.
+            _result("schedule_compile_execute", [0.030, 0.031, 0.030]),
+            _result("noc_saturation", [0.100, 0.101, 0.100]),
+        ])
+        old_path = save_artifact(base, tmp_path / "old.json")
+        new_path = save_artifact(slowed, tmp_path / "new.json")
+        assert main(
+            ["bench", "compare", str(old_path), str(new_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: schedule_compile_execute" in out
+        assert main(
+            ["bench", "compare", str(old_path), str(old_path)]
+        ) == 0
+
+    def test_compare_json_mode(self, tmp_path, capsys):
+        artifact = _artifact([_result("a", [0.01])])
+        path = save_artifact(artifact, tmp_path / "a.json")
+        assert main(
+            ["bench", "compare", str(path), str(path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["deltas"][0]["name"] == "a"
+
+    def test_compare_of_missing_file_is_a_usage_error(self, capsys):
+        assert main(["bench", "compare", "/no/such.json", "/no/such.json"]
+                    ) == 2
+        assert "bench compare failed" in capsys.readouterr().err

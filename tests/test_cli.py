@@ -150,6 +150,51 @@ class TestFaults:
         assert main(["faults", "run", "stragglers",
                      "--payload", "12XB"]) == 1
 
+    def test_run_metrics_dump_includes_latency_histogram(
+        self, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "m.json"
+        assert main(["faults", "run", "mixed", "--trials", "4",
+                     "--metrics", str(metrics_path)]) == 0
+        assert f"wrote {metrics_path}" in capsys.readouterr().out
+        metrics = json.loads(metrics_path.read_text())["metrics"]
+        hist = metrics["faults.latency_s{campaign=mixed}"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 4
+        assert "p999" in hist
+        assert metrics["faults.campaigns"]["value"] == 1.0
+
+    def test_run_slo_violation_exits_nonzero(self, tmp_path, capsys):
+        slo = tmp_path / "slo.json"
+        slo.write_text(json.dumps({"objectives": [
+            {"metric": "faults.latency_s", "labels": {"campaign": "mixed"},
+             "stat": "p50", "op": "<", "threshold": 1e-12,
+             "name": "impossible"},
+        ]}))
+        assert main(["faults", "run", "mixed", "--trials", "4",
+                     "--metrics", str(tmp_path / "m.json"),
+                     "--slo", str(slo)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL impossible" in out
+
+    def test_run_slo_pass_exits_zero(self, tmp_path, capsys):
+        slo = tmp_path / "slo.json"
+        slo.write_text(json.dumps([
+            {"metric": "faults.latency_s", "labels": {"campaign": "mixed"},
+             "stat": "p999", "op": "<", "threshold": 1e6},
+        ]))
+        assert main(["faults", "run", "mixed", "--trials", "4",
+                     "--metrics", str(tmp_path / "m.json"),
+                     "--slo", str(slo)]) == 0
+        assert "all objectives met" in capsys.readouterr().out
+
+    def test_slo_without_metrics_is_an_error(self, tmp_path, capsys):
+        slo = tmp_path / "slo.json"
+        slo.write_text("[]")
+        assert main(["faults", "run", "mixed", "--trials", "2",
+                     "--slo", str(slo)]) == 1
+        assert "--metrics" in capsys.readouterr().err
+
 
 class TestCacheCommand:
     def test_stats_on_empty_cache(self, tmp_path, capsys):

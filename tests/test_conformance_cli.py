@@ -48,6 +48,21 @@ class TestRun:
         # Same verdict either way.
         assert cold.split("cache:")[0] == warm.split("cache:")[0]
 
+    def test_metrics_dump_written_alongside_the_run(
+        self, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "m.json"
+        assert main([
+            "conformance", "run",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--reproducer-dir", str(tmp_path),
+            "--metrics", str(metrics_path),
+        ]) == 0
+        assert f"wrote {metrics_path}" in capsys.readouterr().out
+        metrics = json.loads(metrics_path.read_text())["metrics"]
+        assert metrics["conformance.points"]["value"] == 45.0
+        assert metrics["conformance.cache.misses"]["value"] == 45.0
+
     def test_json_mode_reports_every_point(self, tmp_path, capsys):
         assert main([
             "conformance", "run", "--no-cache", "--json",

@@ -1,0 +1,129 @@
+"""Declarative SLOs: objective parsing, evaluation, report rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    MetricsRegistry,
+    SloObjective,
+    evaluate_slos,
+    load_objectives,
+)
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    hist = reg.histogram("latency_s", {"tenant": "CC"})
+    for value in (0.001, 0.002, 0.003, 0.004, 0.100):
+        hist.observe(value)
+    reg.counter("errors").inc(2)
+    reg.counter("requests").inc(100)
+    reg.gauge("queue.peak").max(7)
+    return reg
+
+
+class TestObjective:
+    def test_round_trips_through_dict(self):
+        objective = SloObjective(
+            "latency_s", "p99", "<", 0.05,
+            labels={"tenant": "CC"}, per=None, name="cc-tail",
+        )
+        clone = SloObjective.from_dict(
+            json.loads(json.dumps(objective.to_dict()))
+        )
+        assert clone == objective
+
+    def test_describe_names_the_expression(self):
+        objective = SloObjective("errors", "value", "<=", 0.05,
+                                 per="requests")
+        assert objective.describe() == (
+            "value(errors) / value(requests) <= 0.05"
+        )
+
+    def test_rejects_unknown_op_and_fields(self):
+        with pytest.raises(ObservabilityError, match="SLO op"):
+            SloObjective("m", "value", "!=", 1.0)
+        with pytest.raises(ObservabilityError, match="unknown SLO"):
+            SloObjective.from_dict(
+                {"metric": "m", "op": "<", "threshold": 1, "color": "red"}
+            )
+        with pytest.raises(ObservabilityError, match="missing required"):
+            SloObjective.from_dict({"metric": "m", "op": "<"})
+
+
+class TestEvaluate:
+    def test_histogram_percentile_objective(self):
+        report = evaluate_slos(_registry(), [
+            SloObjective("latency_s", "p50", "<", 0.01,
+                         labels={"tenant": "CC"}),
+            SloObjective("latency_s", "p99", "<", 0.01,
+                         labels={"tenant": "CC"}),
+        ])
+        assert not report.ok
+        passed, failed = report.checks
+        assert passed.passed and passed.observed == pytest.approx(0.003)
+        assert not failed.passed
+        assert failed.observed == pytest.approx(0.100)
+        assert report.violations == (failed,)
+
+    def test_rate_objective_divides_by_denominator(self):
+        report = evaluate_slos(_registry(), [
+            SloObjective("errors", "value", "<=", 0.05, per="requests"),
+        ])
+        assert report.ok
+        assert report.checks[0].observed == pytest.approx(0.02)
+
+    def test_missing_metric_fails_loudly(self):
+        report = evaluate_slos(_registry(), [
+            SloObjective("latency_s", "p99", "<", 1.0),  # unlabeled: absent
+        ])
+        assert not report.ok
+        assert report.checks[0].detail == "metric not recorded"
+
+    def test_zero_denominator_fails(self):
+        reg = _registry()
+        reg.counter("zero")
+        report = evaluate_slos(reg, [
+            SloObjective("errors", "value", "<", 1.0, per="zero"),
+        ])
+        assert not report.ok
+        assert "zero" in report.checks[0].detail
+
+    def test_plain_dicts_are_accepted(self):
+        report = evaluate_slos(_registry(), [
+            {"metric": "queue.peak", "op": "<=", "threshold": 10},
+        ])
+        assert report.ok
+        assert report.checks[0].observed == 7.0
+
+    def test_format_lists_every_check(self):
+        report = evaluate_slos(_registry(), [
+            SloObjective("latency_s", "p99", "<", 0.01,
+                         labels={"tenant": "CC"}),
+            SloObjective("requests", "value", ">", 1.0),
+        ])
+        text = report.format()
+        assert "1 of 2 objectives violated" in text
+        assert "FAIL" in text and "ok" in text
+
+
+class TestLoadObjectives:
+    def test_loads_list_and_wrapped_forms(self, tmp_path):
+        objectives = [
+            {"metric": "latency_s", "stat": "p99", "op": "<",
+             "threshold": 0.05, "labels": {"tenant": "CC"}},
+        ]
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(objectives))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"objectives": objectives}))
+        assert load_objectives(str(bare)) == load_objectives(str(wrapped))
+        assert load_objectives(str(bare))[0].stat == "p99"
+
+    def test_rejects_non_list_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('"latency"')
+        with pytest.raises(ObservabilityError, match="list of objectives"):
+            load_objectives(str(path))

@@ -84,6 +84,16 @@ def _seeded_point(machine, x, seed=None):
     return {"x": x, "square": seed if seed is not None else -1}
 
 
+def _metric_point(machine, x):
+    from repro.observability.metrics import metric_counter, metric_histogram
+
+    metric_counter("toy.points").inc()
+    metric_histogram("toy.latency_s", {"shard": str(x % 2)}).observe(
+        0.001 * (x + 1)
+    )
+    return {"x": x, "square": x * x, "pid": os.getpid()}
+
+
 TOY_SPECS = (
     ExperimentSpec(
         "toy_squares", "toy", _square_points, _square_point, _square_assemble
@@ -117,6 +127,13 @@ TOY_SPECS = (
         "toy",
         _seeded_points,
         _seeded_point,
+        _square_assemble,
+    ),
+    ExperimentSpec(
+        "toy_metrics",
+        "toy",
+        _square_points,
+        _metric_point,
         _square_assemble,
     ),
 )
@@ -291,3 +308,52 @@ class TestRunExperiments:
             "toy_shuffled", "toy_squares",
         ]
         assert all(r.tables[0].rows == EXPECTED_ROWS for r in runs)
+
+
+class TestWorkerMetricsMerge:
+    """Metrics observed inside fork-pool workers fold back to the parent."""
+
+    @needs_fork
+    def test_jobs4_sweep_lands_in_the_parent_snapshot(self, machine):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            run = run_experiment("toy_metrics", machine, _no_cache(jobs=4))
+        assert run.points == N_POINTS
+        snapshot = registry.snapshot()
+        assert snapshot["toy.points"]["value"] == N_POINTS
+        # Labeled histogram children survive the process boundary with
+        # their observations intact.
+        even = snapshot["toy.latency_s{shard=0}"]
+        odd = snapshot["toy.latency_s{shard=1}"]
+        assert even["count"] + odd["count"] == N_POINTS
+        assert even["max"] == pytest.approx(0.005)
+        assert odd["max"] == pytest.approx(0.006)
+
+    @needs_fork
+    def test_parallel_merge_matches_serial_recording(self, machine):
+        serial, parallel = MetricsRegistry(), MetricsRegistry()
+        with use_metrics(serial):
+            run_experiment("toy_metrics", machine, _no_cache(jobs=1))
+        with use_metrics(parallel):
+            run_experiment("toy_metrics", machine, _no_cache(jobs=4))
+        assert parallel.snapshot() == serial.snapshot()
+
+    @needs_fork
+    def test_cache_stores_unwrapped_values(self, machine, tmp_path):
+        runner = RunnerConfig(jobs=4, cache_dir=str(tmp_path / "cache"))
+        with use_metrics(MetricsRegistry()):
+            cold = run_experiment("toy_metrics", machine, runner)
+        # A metrics-off serial warm run must read plain point values,
+        # not (value, registry) tuples.
+        warm = run_experiment(
+            "toy_metrics",
+            machine,
+            RunnerConfig(cache_dir=str(tmp_path / "cache")),
+        )
+        assert warm.cache_hits == N_POINTS
+        assert warm.tables == cold.tables
+
+    @needs_fork
+    def test_no_registry_means_no_wrapping_overhead(self, machine):
+        run = run_experiment("toy_metrics", machine, _no_cache(jobs=4))
+        assert run.tables[0].rows == EXPECTED_ROWS
