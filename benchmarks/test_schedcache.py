@@ -1,0 +1,62 @@
+"""Schedule-compilation cache: warm replay vs cold recompilation.
+
+Times the two paired bench scenarios — ``schedcache_cold`` recompiles
+the AllReduce schedule for every payload of a sweep, ``schedcache_warm``
+replays the same sweep from one cached timing profile — and enforces
+the hit-path speedup floor the cache exists to provide, plus the
+bit-exactness that makes the replay safe to substitute.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_scenario
+from repro.bench.scenarios import (
+    _SCHEDCACHE_PAYLOADS,
+    _schedcache_args,
+    get_scenario,
+)
+from repro.core.schedule import build_schedule, schedule_timing
+from repro.schedcache import ScheduleCache
+
+from .conftest import run_once
+
+#: The cache must beat recompilation by at least this factor on the hit
+#: path (measured ~100x; 2x keeps the gate robust on loaded CI boxes).
+MIN_SPEEDUP = 2.0
+
+
+def _p50(result) -> float:
+    return result.summary["p50"]
+
+
+def test_warm_replay_beats_cold_compilation(benchmark, report):
+    cold = run_scenario(get_scenario("schedcache_cold"), repeats=5, warmup=1)
+    warm = run_once(
+        benchmark,
+        run_scenario,
+        get_scenario("schedcache_warm"),
+        repeats=5,
+        warmup=1,
+    )
+    speedup = _p50(cold) / _p50(warm)
+    report(
+        f"schedcache: cold p50 {_p50(cold) * 1e3:.2f} ms, "
+        f"warm p50 {_p50(warm) * 1e3:.2f} ms, {speedup:.0f}x speedup"
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_warm_replay_is_bit_exact(report):
+    collective, shape, network = _schedcache_args()
+    cache = ScheduleCache()
+    cache.profile(collective, shape, network)
+    for num_elements in _SCHEDCACHE_PAYLOADS:
+        fresh = schedule_timing(
+            build_schedule(collective, shape, num_elements), network
+        )
+        assert cache.timing(collective, shape, num_elements, network) == fresh
+    assert cache.counters.timing_replays == len(_SCHEDCACHE_PAYLOADS)
+    report(
+        f"schedcache: {len(_SCHEDCACHE_PAYLOADS)} payload replays "
+        "bit-identical to fresh compilation"
+    )

@@ -48,7 +48,9 @@ from .core import (
     pimnet_gather,
     pimnet_reduce,
     pimnet_reduce_scatter,
+    pimnet_schedule_times,
 )
+from .schedcache import ScheduleCache, use_schedule_cache
 from .config import TraceConfig
 from .errors import ReproError
 from .machine import PimMachine
@@ -83,6 +85,9 @@ __all__ = [
     "pimnet_gather",
     "pimnet_reduce",
     "pimnet_reduce_scatter",
+    "pimnet_schedule_times",
+    "ScheduleCache",
+    "use_schedule_cache",
     "PimMachine",
     "ReproError",
     "Instrumentation",

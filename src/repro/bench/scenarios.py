@@ -144,6 +144,51 @@ def _conformance_warm(cache_dir: str) -> None:
     run_matrix(_conformance_config(), cache_dir=cache_dir)
 
 
+#: Structure + payload sweep for the schedule-cache scenarios.  One
+#: structure, several payloads: exactly the shape of a figure sweep,
+#: where the cold path recompiles the schedule per payload and the
+#: warm path replays one cached timing profile.
+_SCHEDCACHE_PATTERN = ("all_reduce", 8, 4, 2)
+_SCHEDCACHE_PAYLOADS = (8192, 16384, 32768, 65536)
+
+
+def _schedcache_args():
+    from ..collectives.patterns import Collective
+    from ..config.network import PimnetNetworkConfig
+    from ..core.schedule import Shape
+
+    _, banks, chips, ranks = _SCHEDCACHE_PATTERN
+    return (
+        Collective.ALL_REDUCE,
+        Shape(banks=banks, chips=chips, ranks=ranks),
+        PimnetNetworkConfig(),
+    )
+
+
+def _schedcache_cold(_: Any) -> None:
+    from ..core.schedule import build_schedule, schedule_timing
+
+    collective, shape, network = _schedcache_args()
+    for num_elements in _SCHEDCACHE_PAYLOADS:
+        schedule = build_schedule(collective, shape, num_elements)
+        schedule_timing(schedule, network)
+
+
+def _schedcache_warm_setup() -> Any:
+    from ..schedcache import ScheduleCache
+
+    collective, shape, network = _schedcache_args()
+    cache = ScheduleCache()
+    cache.profile(collective, shape, network)
+    return cache
+
+
+def _schedcache_warm(cache: Any) -> None:
+    collective, shape, network = _schedcache_args()
+    for num_elements in _SCHEDCACHE_PAYLOADS:
+        cache.timing(collective, shape, num_elements, network)
+
+
 def _rmtree(path: str) -> None:
     shutil.rmtree(path, ignore_errors=True)
 
@@ -185,6 +230,27 @@ register_scenario(
         body=_runner_warm,
         setup=_runner_warm_setup,
         teardown=_rmtree,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="schedcache_cold",
+        description=(
+            "AllReduce timing sweep over 4 payloads, fresh schedule "
+            "compilation per payload (no cache)"
+        ),
+        body=_schedcache_cold,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="schedcache_warm",
+        description=(
+            "the same payload sweep replayed from one cached timing "
+            "profile (schedcache hit path)"
+        ),
+        body=_schedcache_warm,
+        setup=_schedcache_warm_setup,
     )
 )
 register_scenario(

@@ -11,6 +11,9 @@ Usage::
     python -m repro run fig13 --seed 7   # override every seeded point
     python -m repro cache stats [--json] # what the result cache holds
     python -m repro cache clear          # drop all cached point results
+    python -m repro schedcache stats     # stored schedule timing profiles
+    python -m repro schedcache compile --shape 8x4x2   # prewarm profiles
+    python -m repro schedcache clear     # drop stored timing profiles
     python -m repro info [--json]        # machine/backend summary
     python -m repro trace allreduce --payload 1MB --out trace.json
     python -m repro faults list          # named resilience campaigns
@@ -161,6 +164,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"seed: {seed}")
     if runner.cache_enabled:
         print(f"cache: {hits} hit(s), {misses} miss(es)")
+    from .schedcache import active_schedule_cache
+
+    sc = active_schedule_cache().counters
+    if sc.schedule_hits or sc.schedule_misses or sc.timing_replays:
+        print(
+            f"schedcache: {sc.schedule_hits + sc.timing_replays} hit(s) "
+            f"({sc.timing_replays} profile replay(s)), "
+            f"{sc.schedule_misses} compile(s)"
+        )
     return _write_outputs(instrumentation)
 
 
@@ -190,6 +202,113 @@ def cmd_cache(args: argparse.Namespace) -> int:
         f"{stats['bytes']} bytes"
     )
     return 0
+
+
+def cmd_schedcache(args: argparse.Namespace) -> int:
+    import shutil
+    from pathlib import Path
+
+    from .schedcache import STORE_NAMESPACE, ScheduleCache
+
+    store_dir = Path(args.cache_dir) / STORE_NAMESPACE
+
+    if args.schedcache_command == "clear":
+        removed = sum(1 for _ in store_dir.glob("*.json"))
+        shutil.rmtree(store_dir, ignore_errors=True)
+        print(f"cleared {removed} stored profile(s)")
+        return 0
+
+    if args.schedcache_command == "compile":
+        try:
+            collectives = (
+                [_parse_collective(name) for name in args.collective]
+                if args.collective
+                else list(Collective)
+            )
+            shapes = [_parse_shape(spec) for spec in args.shape] or [
+                _default_shape()
+            ]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        cache = ScheduleCache(store=ResultCache(args.cache_dir))
+        network = pimnet_sim_system().pimnet
+        try:
+            for shape in shapes:
+                for pattern in collectives:
+                    cache.profile(pattern, shape, network)
+        except ReproError as exc:
+            print(f"schedcache compile failed: {exc}", file=sys.stderr)
+            return 1
+        counters = cache.counters
+        print(
+            f"compiled {counters.profile_misses} profile(s) "
+            f"({counters.profile_disk_hits} already stored) "
+            f"into {store_dir}"
+        )
+        return 0
+
+    # stats
+    entries = []
+    for path in sorted(store_dir.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        params = entry.get("params", {})
+        entries.append(
+            {
+                "structure": (
+                    f"{params.get('collective', '?')}"
+                    f"@{params.get('banks', '?')}x{params.get('chips', '?')}"
+                    f"x{params.get('ranks', '?')}"
+                    f"/root{params.get('root', '?')}"
+                    f"/i{params.get('itemsize', '?')}"
+                ),
+                "bytes": path.stat().st_size,
+            }
+        )
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {"root": str(store_dir), "profiles": entries}, indent=1
+            )
+        )
+        return 0
+    print(f"schedcache store: {store_dir}")
+    if not entries:
+        print("  (empty; `repro schedcache compile` precompiles profiles)")
+        return 0
+    for entry in entries:
+        print(f"  {entry['structure']:40s} {entry['bytes']} bytes")
+    print(f"total: {len(entries)} stored profile(s)")
+    return 0
+
+
+def _parse_shape(spec: str):
+    from .core.schedule import Shape
+
+    parts = spec.lower().replace("x", " ").split()
+    if len(parts) != 3:
+        raise ValueError(
+            f"shape must be BANKSxCHIPSxRANKS (e.g. 8x4x2), got {spec!r}"
+        )
+    try:
+        banks, chips, ranks = (int(p) for p in parts)
+    except ValueError:
+        raise ValueError(f"non-integer shape axis in {spec!r}") from None
+    return Shape(banks=banks, chips=chips, ranks=ranks)
+
+
+def _default_shape():
+    from .core.schedule import Shape
+
+    system = pimnet_sim_system().system
+    return Shape(
+        banks=system.banks_per_chip,
+        chips=system.chips_per_rank,
+        ranks=system.ranks_per_channel,
+    )
 
 
 def _experiment_span(
@@ -762,6 +881,63 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"cache location (default: {DEFAULT_CACHE_DIR})",
     )
     p_cache_clear.set_defaults(func=cmd_cache)
+
+    p_sched = sub.add_parser(
+        "schedcache",
+        help="inspect, clear, or precompile the schedule-compilation cache",
+    )
+    sched_sub = p_sched.add_subparsers(
+        dest="schedcache_command", required=True
+    )
+    p_sched_stats = sched_sub.add_parser(
+        "stats", help="show stored timing profiles"
+    )
+    p_sched_stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_sched_stats.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_sched_stats.set_defaults(func=cmd_schedcache)
+    p_sched_clear = sched_sub.add_parser(
+        "clear", help="remove every stored timing profile"
+    )
+    p_sched_clear.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_sched_clear.set_defaults(func=cmd_schedcache)
+    p_sched_compile = sched_sub.add_parser(
+        "compile",
+        help="precompile timing profiles into the on-disk store",
+    )
+    p_sched_compile.add_argument(
+        "--collective",
+        action="append",
+        metavar="NAME",
+        default=[],
+        help="collective to precompile (repeatable; default: all)",
+    )
+    p_sched_compile.add_argument(
+        "--shape",
+        action="append",
+        metavar="BxCxR",
+        default=[],
+        help="banks x chips x ranks structure (repeatable; "
+        "default: the default machine's shape)",
+    )
+    p_sched_compile.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_sched_compile.set_defaults(func=cmd_schedcache)
 
     p_info = sub.add_parser("info", help="show machine/backend summary")
     p_info.add_argument(

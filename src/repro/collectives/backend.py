@@ -148,6 +148,28 @@ class CollectiveBackend(ABC):
     def timing(self, request: CollectiveRequest) -> CommBreakdown:
         """Time model for one collective; no data movement."""
 
+    def schedule(self, request: CollectiveRequest):
+        """The backend's fully resolved static schedule for ``request``.
+
+        Only backends with statically scheduled fabrics (PIMnet) expose
+        one; host-mediated and prior-work baselines route through the
+        host or buffer chips dynamically and have nothing to compile.
+        Overriders should serve repeated structures from
+        :mod:`repro.schedcache` rather than recompiling.
+        """
+        raise BackendError(
+            f"{self.name} has no static communication schedule"
+        )
+
+    def schedule_times(self, request: CollectiveRequest):
+        """Per-tier link-load times of the backend's static schedule.
+
+        Raises for backends without one (see :meth:`schedule`).
+        """
+        raise BackendError(
+            f"{self.name} has no static communication schedule"
+        )
+
     def run(
         self,
         request: CollectiveRequest,

@@ -36,7 +36,6 @@ from ..config.network import PimnetNetworkConfig
 from ..config.runner import DEFAULT_CACHE_DIR
 from ..core.schedule import (
     CommSchedule,
-    build_schedule,
     execute_schedule,
     owned_range,
     schedule_timing,
@@ -47,6 +46,7 @@ from ..noc.network import NocNetwork
 from ..noc.simulator import NocSimulator
 from ..noc.workload import messages_from_schedule
 from ..observability import metric_counter, trace_span
+from ..schedcache import cached_build_schedule
 from .matrix import ConformancePoint, enumerate_matrix
 from .mutate import (
     SCHEDULE_MODES,
@@ -155,7 +155,13 @@ def run_point(
         request = point.request(config.itemsize)
         try:
             request.validate_for(point.num_dpus)
-            schedule = build_schedule(
+            # Served from the schedule-compilation cache: schedules are
+            # frozen, and mutations below construct fresh objects, so a
+            # shared cached schedule is safe.  The latency check's
+            # analytic time and flit simulation stay on the slow path —
+            # they are the independent oracles the cache is tested
+            # against, so they must never be served *from* it.
+            schedule = cached_build_schedule(
                 point.pattern, point.shape, num_elements
             )
         except (ScheduleError, CollectiveError) as exc:

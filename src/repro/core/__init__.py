@@ -29,6 +29,7 @@ from .api import (
     pimnet_gather,
     pimnet_reduce,
     pimnet_reduce_scatter,
+    pimnet_schedule_times,
 )
 from .collectives import PIMNET_ALGORITHMS, TierAlgorithm, algorithm_chain
 from .pimnet import PimnetBackend
@@ -82,6 +83,7 @@ __all__ = [
     "pimnet_gather",
     "pimnet_reduce",
     "pimnet_reduce_scatter",
+    "pimnet_schedule_times",
     "PIMNET_ALGORITHMS",
     "TierAlgorithm",
     "algorithm_chain",

@@ -16,6 +16,27 @@ from ..collectives.result import CollectiveResult
 from ..config.presets import MachineConfig, pimnet_sim_system
 from ..errors import CollectiveError
 from .pimnet import PimnetBackend
+from .schedule import Tier
+
+#: One backend per distinct machine config (keyed by canonical JSON —
+#: MachineConfig nests dicts, so it is not hashable itself).  Backends
+#: are stateless per request; sharing one keeps the schedule cache and
+#: timing model warm across repeated ``pimnet_*`` calls in sweeps.
+_BACKENDS: dict[str, PimnetBackend] = {}
+_BACKENDS_MAX = 32
+
+
+def _backend(machine: MachineConfig) -> PimnetBackend:
+    from ..runner.canonical import canonical_json
+
+    key = canonical_json(machine)
+    backend = _BACKENDS.get(key)
+    if backend is None:
+        if len(_BACKENDS) >= _BACKENDS_MAX:
+            _BACKENDS.clear()
+        backend = PimnetBackend(machine)
+        _BACKENDS[key] = backend
+    return backend
 
 
 def _run(
@@ -41,7 +62,7 @@ def _run(
         op=op,
         root=root,
     )
-    return PimnetBackend(machine).run(request, buffers)
+    return _backend(machine).run(request, buffers)
 
 
 def pimnet_all_reduce(
@@ -104,3 +125,34 @@ def pimnet_gather(
 ) -> CollectiveResult:
     """Gather: the root DPU ends with every DPU's buffer concatenated."""
     return _run(Collective.GATHER, buffers, machine, ReduceOp.SUM, root)
+
+
+def pimnet_schedule_times(
+    pattern: Collective,
+    num_elements: int,
+    machine: MachineConfig | None = None,
+    root: int = 0,
+    itemsize: int = 8,
+) -> dict[Tier, float]:
+    """Per-tier times of ``pattern``'s static schedule on ``machine``.
+
+    Served through the schedule-compilation cache: the first call for a
+    (pattern, shape, network) structure compiles and profiles the
+    schedule; later calls — at *any* payload size — replay the profile
+    analytically, bit-identical to a fresh ``schedule_timing`` run.
+    """
+    if num_elements < 1:
+        raise CollectiveError(
+            f"need at least one element, got {num_elements}"
+        )
+    machine = machine or pimnet_sim_system()
+    from ..schedcache import cached_schedule_timing
+
+    return cached_schedule_timing(
+        pattern,
+        _backend(machine).shape,
+        num_elements,
+        machine.pimnet,
+        root=root,
+        itemsize=itemsize,
+    )

@@ -13,7 +13,7 @@ from ..collectives.patterns import Collective, CollectiveRequest
 from ..collectives.result import CommBreakdown
 from ..config.presets import MachineConfig
 from ..observability import trace_span
-from .schedule import CommSchedule, Shape, build_schedule
+from .schedule import CommSchedule, Shape, Tier
 from .timing import PimnetTimingModel
 
 
@@ -44,14 +44,20 @@ class PimnetBackend(CollectiveBackend):
 
         Available for the patterns with Table V algorithms (AllReduce,
         Reduce-Scatter, All-to-All, Broadcast); element counts must be
-        divisible by the DPU count, as the compiler would pad.
+        divisible by the DPU count, as the compiler would pad.  Served
+        through the process-wide schedule-compilation cache, so repeated
+        requests for one structure compile once.
         """
+        # Imported lazily: schedcache sits above core in the layering
+        # (it imports core.schedule), so a top-level import would cycle.
+        from ..schedcache import cached_build_schedule
+
         with trace_span(
             "pimnet/schedule",
             category="schedule",
             request=request.summary(),
         ) as span:
-            schedule = build_schedule(
+            schedule = cached_build_schedule(
                 request.pattern, self.shape, request.num_elements,
                 request.root,
             )
@@ -60,6 +66,24 @@ class PimnetBackend(CollectiveBackend):
                 num_transfers=schedule.num_transfers,
             )
             return schedule
+
+    def schedule_times(self, request: CollectiveRequest) -> dict[Tier, float]:
+        """Per-tier link-load times of ``request``'s static schedule.
+
+        Replayed from the cached per-structure timing profile when one
+        exists — bit-identical to ``schedule_timing(self.schedule(...))``
+        without building the schedule at all.
+        """
+        from ..schedcache import cached_schedule_timing
+
+        return cached_schedule_timing(
+            request.pattern,
+            self.shape,
+            request.num_elements,
+            self.machine.pimnet,
+            root=request.root,
+            itemsize=request.dtype.itemsize,
+        )
 
     def supports(self, pattern: Collective) -> bool:
         return True

@@ -120,3 +120,12 @@ class PointExecutionError(RunnerError):
 class BenchError(ReproError):
     """The bench harness was misused: unknown scenario, malformed or
     schema-incompatible artifact, or an ill-formed comparison."""
+
+
+class SchedCacheError(ReproError):
+    """The schedule-compilation cache was misused or hit a profile it
+    cannot rescale (non-uniform step lengths, unserializable entries).
+
+    Cache *misses* and out-of-band rescaling are never errors — they
+    fall back to fresh compilation; this is raised only for genuine
+    misuse (corrupt profile payloads, invalid capacities)."""

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..collectives.patterns import Collective
 from ..config.network import PimnetNetworkConfig
 from ..config.presets import MachineConfig
 from ..config.system import PimSystemConfig
-from ..core.schedule import Shape, allreduce_schedule, alltoall_schedule
+from ..core.schedule import Shape
 from ..core.sync import SyncTree
+from ..schedcache import cached_build_schedule
 from ..noc.network import NocNetwork
 from ..noc.workload import run_flow_control_comparison
 from ..runner.registry import register_experiment
@@ -80,11 +82,15 @@ def _point(
         ),
         PimnetNetworkConfig(),
     )
-    builder = (
-        allreduce_schedule if pattern == "allreduce" else alltoall_schedule
+    collective = (
+        Collective.ALL_REDUCE
+        if pattern == "allreduce"
+        else Collective.ALL_TO_ALL
     )
+    # Both flow-control modes replay the same frozen schedule, served
+    # once per structure from the schedule-compilation cache.
     return run_flow_control_comparison(
-        builder(shape, elements_per_dpu),
+        cached_build_schedule(collective, shape, elements_per_dpu),
         network,
         mean_compute_cycles=mean_compute_cycles,
         seed=seed,

@@ -191,6 +191,15 @@ def _execute_point(
     metrics recorded in a forked worker would mutate the worker's copy
     of the global registry and silently vanish with the process.
     """
+    # Fork-pool workers inherit the parent's schedule-compilation cache
+    # (contents *and* counters) by copy-on-write; empty it on first
+    # touch so each worker's stats describe only its own work.  The
+    # worker's hit/miss counters still reach the parent: they are
+    # mirrored into ``schedcache.*`` metrics, which the registry merge
+    # below ships back.
+    from ..schedcache import reset_worker_cache
+
+    reset_worker_cache()
     if worker_import:
         importlib.import_module(worker_import)
     spec = REGISTRY.get(experiment_id)

@@ -124,6 +124,26 @@ def test_warm_cache_run_matches_golden(
     _assert_matches_golden(warm, experiment_id)
 
 
+@pytest.mark.parametrize("experiment_id", PARAMS)
+def test_schedule_cache_cold_and_warm_match_golden(
+    experiment_id, golden_machine, update_goldens
+):
+    """A warm schedule-compilation cache must be invisible in the output:
+    the second run replays cached schedules/profiles, byte-identical."""
+    if update_goldens:
+        pytest.skip("fixture regeneration uses the serial path only")
+    from repro.schedcache import ScheduleCache, use_schedule_cache
+
+    runner = RunnerConfig(jobs=1, cache_enabled=False)
+    with use_schedule_cache(ScheduleCache()) as cache:
+        cold = run_experiment(experiment_id, golden_machine, runner)
+        cold_compiles = cache.counters.schedule_misses
+        warm = run_experiment(experiment_id, golden_machine, runner)
+        assert cache.counters.schedule_misses == cold_compiles
+    _assert_matches_golden(cold, experiment_id)
+    _assert_matches_golden(warm, experiment_id)
+
+
 def test_registry_covers_every_experiment_module():
     assert set(ALL_IDS) == set(EXPERIMENTS)
 

@@ -1,0 +1,206 @@
+"""Schedule-cache key sensitivity: structure misses, payload hits.
+
+The cache's contract (satellite of ``docs/SCHEDCACHE.md``): a
+:class:`~repro.schedcache.StructureKey` must change whenever the
+collective, any shape axis, the root, the element size, or *any* leaf
+field of the network config changes — and must NOT change when only the
+payload does, because the whole point of the profile tier is that one
+compiled structure serves every payload.  Mirrors the leaf-perturbation
+sweep of ``tests/test_runner_cache.py`` at the network-config level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.patterns import Collective
+from repro.config.network import PimnetNetworkConfig
+from repro.core.schedule import Shape
+from repro.errors import ReproError
+from repro.schedcache import (
+    ScheduleCache,
+    ScheduleKey,
+    StructureKey,
+    network_fingerprint,
+)
+
+NETWORK = PimnetNetworkConfig()
+SHAPE = Shape(banks=4, chips=2, ranks=2)
+COLLECTIVES = list(Collective)
+
+
+def _leaf_paths(value, prefix=()):
+    """Every (path, leaf) of numeric/str/bool fields in a dataclass tree."""
+    out = []
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for f in dataclasses.fields(value):
+            out.extend(
+                _leaf_paths(getattr(value, f.name), prefix + (f.name,))
+            )
+    elif isinstance(value, (bool, int, float, str)):
+        out.append((prefix, value))
+    return out
+
+
+def _replace_at(value, path, new_leaf):
+    """A copy of the dataclass tree with the leaf at ``path`` replaced."""
+    if not path:
+        return new_leaf
+    field_name = path[0]
+    return dataclasses.replace(
+        value,
+        **{
+            field_name: _replace_at(
+                getattr(value, field_name), path[1:], new_leaf
+            )
+        },
+    )
+
+
+LEAF_PATHS = [path for path, _ in _leaf_paths(NETWORK)]
+
+
+def _candidates(leaf, delta=1):
+    if isinstance(leaf, bool):
+        return [not leaf]
+    if isinstance(leaf, int):
+        return [leaf * 2, leaf + delta, leaf // 2, leaf - delta]
+    if isinstance(leaf, float):
+        return [leaf / 2, leaf * 2, leaf + delta, leaf / (1 + delta)]
+    return [leaf + "x" * delta]
+
+
+def _mutated_network(path, leaf, delta=1):
+    for candidate in _candidates(leaf, delta):
+        if candidate == leaf:
+            continue
+        try:
+            return _replace_at(NETWORK, path, candidate)
+        except ReproError:
+            continue
+    return None
+
+
+def _structure_key(
+    pattern=Collective.ALL_REDUCE,
+    shape=SHAPE,
+    network=NETWORK,
+    root=0,
+    itemsize=8,
+):
+    return StructureKey.for_structure(
+        pattern, shape, network, root=root, itemsize=itemsize
+    )
+
+
+class TestStructureKeyMisses:
+    """Anything that changes timing must change the key."""
+
+    def test_every_network_leaf_field_is_load_bearing(self):
+        base = _structure_key()
+        tested = 0
+        for path, leaf in _leaf_paths(NETWORK):
+            network = _mutated_network(path, leaf)
+            if network is None:
+                continue
+            tested += 1
+            assert _structure_key(network=network) != base, path
+        assert tested >= 0.8 * len(LEAF_PATHS)
+
+    @given(
+        index=st.integers(min_value=0, max_value=len(LEAF_PATHS) - 1),
+        delta=st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_network_leaf_perturbations_change_fingerprint(
+        self, index, delta
+    ):
+        path, base_leaf = _leaf_paths(NETWORK)[index]
+        network = _mutated_network(path, base_leaf, delta)
+        if network is None:
+            return  # no valid perturbation for this (field, delta)
+        assert network_fingerprint(network) != network_fingerprint(NETWORK)
+
+    @pytest.mark.parametrize("pattern", COLLECTIVES)
+    def test_collective_changes_key(self, pattern):
+        keys = {_structure_key(pattern=other) for other in COLLECTIVES}
+        assert len(keys) == len(COLLECTIVES)
+        assert _structure_key(pattern=pattern) in keys
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            Shape(banks=8, chips=2, ranks=2),
+            Shape(banks=4, chips=4, ranks=2),
+            Shape(banks=4, chips=2, ranks=1),
+        ],
+        ids=["banks", "chips", "ranks"],
+    )
+    def test_any_shape_axis_changes_key(self, shape):
+        assert _structure_key(shape=shape) != _structure_key()
+
+    def test_root_and_itemsize_change_key(self):
+        base = _structure_key()
+        assert _structure_key(root=1) != base
+        assert _structure_key(itemsize=4) != base
+
+
+class TestStructureKeyHits:
+    """Payload-only changes must land on the same structure."""
+
+    @given(
+        a=st.integers(min_value=1, max_value=2**40),
+        b=st.integers(min_value=1, max_value=2**40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_payload_never_enters_the_structure_key(self, a, b):
+        # StructureKey has no payload field at all; the property pins
+        # that this stays true for every way of constructing one.
+        key_a = _structure_key()
+        key_b = _structure_key()
+        assert key_a == key_b
+        assert ScheduleKey.for_build(
+            Collective.ALL_REDUCE, SHAPE, a
+        ) != ScheduleKey.for_build(
+            Collective.ALL_REDUCE, SHAPE, b
+        ) or (a == b)
+
+    def test_equal_network_copies_share_a_fingerprint(self):
+        copy = dataclasses.replace(NETWORK)
+        assert copy is not NETWORK
+        assert network_fingerprint(copy) == network_fingerprint(NETWORK)
+
+    @given(multipliers=st.lists(
+        st.integers(min_value=1, max_value=512), min_size=2, max_size=6
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_payload_only_sweep_compiles_once(self, multipliers):
+        """Through the cache: first payload compiles, the rest replay."""
+        cache = ScheduleCache()
+        for k in multipliers:
+            cache.timing(
+                Collective.ALL_REDUCE,
+                SHAPE,
+                SHAPE.num_dpus * k,
+                NETWORK,
+            )
+        counters = cache.counters
+        assert counters.profile_misses == 1
+        assert counters.timing_replays == len(multipliers) - 1
+        assert counters.timing_fallbacks == 0
+
+    def test_structure_change_misses_through_the_cache(self):
+        cache = ScheduleCache()
+        cache.timing(Collective.ALL_REDUCE, SHAPE, 64, NETWORK)
+        mutated = _replace_at(
+            NETWORK,
+            ("inter_rank", "hop_latency_s"),
+            NETWORK.inter_rank.hop_latency_s * 2,
+        )
+        cache.timing(Collective.ALL_REDUCE, SHAPE, 64, mutated)
+        assert cache.counters.profile_misses == 2
+        assert cache.counters.timing_replays == 0
