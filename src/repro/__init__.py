@@ -49,8 +49,10 @@ from .core import (
     pimnet_reduce,
     pimnet_reduce_scatter,
     pimnet_schedule_times,
+    pimnet_service,
 )
 from .schedcache import ScheduleCache, use_schedule_cache
+from .service import CollectiveService, ServiceResponse
 from .config import TraceConfig
 from .errors import ReproError
 from .machine import PimMachine
@@ -86,8 +88,11 @@ __all__ = [
     "pimnet_reduce",
     "pimnet_reduce_scatter",
     "pimnet_schedule_times",
+    "pimnet_service",
     "ScheduleCache",
     "use_schedule_cache",
+    "CollectiveService",
+    "ServiceResponse",
     "PimMachine",
     "ReproError",
     "Instrumentation",

@@ -46,7 +46,13 @@ class TenantResult:
 
     @property
     def interference_slowdown(self) -> float:
-        return self.shared_s / self.alone_s if self.alone_s > 0 else 1.0
+        if self.alone_s <= 0:
+            raise ConfigurationError(
+                f"tenant {self.workload!r} ({self.backend}) reported "
+                f"non-positive alone time {self.alone_s!r}; a broken run "
+                "cannot be scored as 'no interference'"
+            )
+        return self.shared_s / self.alone_s
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,14 @@ class MultiTenancyResult:
 
     def isolation_benefit(self) -> float:
         """Geometric-mean slowdown ratio (baseline over PIMnet)."""
+        for tenant in (*self.baseline, *self.pimnet):
+            slowdown = tenant.interference_slowdown
+            if slowdown <= 0:
+                raise ConfigurationError(
+                    f"tenant {tenant.workload!r} ({tenant.backend}) has "
+                    f"non-positive slowdown {slowdown!r}; it cannot enter "
+                    "the isolation geomean"
+                )
         b = (
             self.baseline[0].interference_slowdown
             * self.baseline[1].interference_slowdown
@@ -164,14 +178,21 @@ def _tenant_request_stats(
             sketch.observe(latency_s)
             if instrument is not None:
                 instrument.observe(latency_s)
+    if sketch.count == 0:
+        raise ConfigurationError(
+            f"workload {workload.name!r} produced no communication "
+            f"requests under {substrate}; refusing to report zero "
+            "percentiles for an empty sketch"
+        )
     p50 = sketch.quantile(50.0)
     p99 = sketch.quantile(99.0)
+    assert p50 is not None and p99 is not None
     return TenantLatencyStats(
         workload=workload.name,
         substrate=substrate,
         requests=sketch.count,
-        p50_s=p50 if p50 is not None else 0.0,
-        p99_s=p99 if p99 is not None else 0.0,
+        p50_s=p50,
+        p99_s=p99,
     )
 
 

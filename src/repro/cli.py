@@ -25,6 +25,8 @@ Usage::
     python -m repro bench list           # curated timed scenarios
     python -m repro bench run --out BENCH_new.json
     python -m repro bench compare BENCH_old.json BENCH_new.json
+    python -m repro service bench        # multi-tenant admission bench
+    python -m repro serve --tenants 4 --requests 128 --json
 """
 
 from __future__ import annotations
@@ -636,6 +638,82 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return _write_outputs(instrumentation)
 
 
+def cmd_service(args: argparse.Namespace) -> int:
+    """``repro service bench`` / ``repro serve``: drive the multi-tenant
+    collective service closed-loop and report admission + latency."""
+    from .config.service import (
+        ServiceConfig,
+        TenantQuotaConfig,
+        TimeSlotConfig,
+    )
+    from .experiments import tenant_service_load
+
+    instrumentation = _run_instrumentation(args)
+    try:
+        config = ServiceConfig(
+            slots=(
+                TimeSlotConfig(
+                    "all_reduce", ("all_reduce",),
+                    time_window_s=args.window,
+                    max_multiplexing=args.max_multiplexing,
+                ),
+                TimeSlotConfig(
+                    "reduce_scatter", ("reduce_scatter",),
+                    time_window_s=args.window,
+                    max_multiplexing=args.max_multiplexing,
+                ),
+            ),
+            switch_time_s=args.switch,
+            queue_limit=args.queue_limit,
+            default_quota=TenantQuotaConfig(
+                max_queued=args.max_queued, max_per_slot=args.max_per_slot
+            ),
+        )
+        with instrumentation.activate():
+            result = tenant_service_load.run(
+                tenants=args.tenants,
+                requests_per_tenant=args.requests,
+                concurrency=args.concurrency,
+                seed=args.seed,
+                config=config,
+                timeout_s=args.timeout,
+            )
+            slo_file_report = _evaluate_slo_file(getattr(args, "slo", None))
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"service bench failed: {exc}", file=sys.stderr)
+        return 1
+    slo_failed = not result.slo.ok or (
+        slo_file_report is not None and not slo_file_report.ok
+    )
+    if getattr(args, "json", False):
+        payload = {
+            "params": result.params,
+            "stats": result.stats,
+            "tenants": [
+                {
+                    "tenant": tenant,
+                    "pattern": pattern,
+                    "submitted": submitted,
+                    "admitted": admitted,
+                    "rejected": rejected,
+                    "p50_s": p50,
+                    "p99_s": p99,
+                }
+                for tenant, pattern, submitted, admitted, rejected, p50, p99
+                in result.tenant_rows
+            ],
+            "slo": result.slo.to_dict(),
+        }
+        if slo_file_report is not None:
+            payload["slo_file"] = slo_file_report.to_dict()
+        print(json.dumps(payload, indent=1))
+        return _write_outputs(instrumentation) or (1 if slo_failed else 0)
+    print(tenant_service_load.format_table(result))
+    if slo_file_report is not None:
+        print(slo_file_report.format())
+    return _write_outputs(instrumentation) or (1 if slo_failed else 0)
+
+
 def cmd_verify(_: argparse.Namespace) -> int:
     from .workloads import all_passed, verify_all
 
@@ -1235,6 +1313,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p_bench_compare.set_defaults(func=cmd_bench)
+
+    def _service_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--tenants", type=int, default=4, metavar="N",
+            help="number of synthetic tenants (default: 4)",
+        )
+        parser.add_argument(
+            "--requests", type=int, default=512, metavar="N",
+            help="requests per tenant (default: 512)",
+        )
+        parser.add_argument(
+            "--concurrency", type=int, default=8, metavar="N",
+            help="closed-loop outstanding requests per tenant (default: 8)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=11, metavar="N",
+            help="payload-mix seed (default: 11)",
+        )
+        parser.add_argument(
+            "--window", type=float, default=500e-6, metavar="SECONDS",
+            help="time window of each slot (default: 500us)",
+        )
+        parser.add_argument(
+            "--switch", type=float, default=20e-6, metavar="SECONDS",
+            help="switch (dead) time between slots (default: 20us)",
+        )
+        parser.add_argument(
+            "--max-multiplexing", type=int, default=2, metavar="N",
+            help="distinct schedule structures per slot occurrence "
+            "(default: 2)",
+        )
+        parser.add_argument(
+            "--queue-limit", type=int, default=64, metavar="N",
+            help="total admission queue bound (default: 64)",
+        )
+        parser.add_argument(
+            "--max-queued", type=int, default=8, metavar="N",
+            help="per-tenant queued-request quota (default: 8)",
+        )
+        parser.add_argument(
+            "--max-per-slot", type=int, default=4, metavar="N",
+            help="per-tenant admissions per slot occurrence (default: 4)",
+        )
+        parser.add_argument(
+            "--timeout", type=float, default=120.0, metavar="SECONDS",
+            help="hard wall-clock bound; a deadlocked event loop fails "
+            "fast (default: 120)",
+        )
+        parser.add_argument(
+            "--json", action="store_true",
+            help="emit the full report as JSON",
+        )
+        parser.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write a Chrome trace-event JSON of the run to PATH",
+        )
+        parser.add_argument(
+            "--metrics", metavar="PATH", default=None,
+            help="write collected metrics to PATH (.csv for CSV, else "
+            "JSON)",
+        )
+        parser.add_argument(
+            "--slo", metavar="PATH", default=None,
+            help="evaluate extra SLO objectives from a JSON file "
+            "(requires --metrics); nonzero exit on violation",
+        )
+        parser.set_defaults(func=cmd_service)
+
+    p_service = sub.add_parser(
+        "service",
+        help="multi-tenant async collective service",
+    )
+    service_sub = p_service.add_subparsers(
+        dest="service_command", required=True
+    )
+    p_service_bench = service_sub.add_parser(
+        "bench",
+        help="closed-loop tenant load through the time-slot scheduler",
+    )
+    _service_options(p_service_bench)
+    # `repro serve` is the short spelling of `repro service bench`.
+    p_serve = sub.add_parser(
+        "serve", help="alias for 'service bench'"
+    )
+    _service_options(p_serve)
     return parser
 
 

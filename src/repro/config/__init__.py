@@ -35,6 +35,12 @@ from .presets import (
     upmem_server,
 )
 from .runner import RunnerConfig
+from .service import (
+    ServiceConfig,
+    TenantQuotaConfig,
+    TimeSlotConfig,
+    default_service_config,
+)
 from .system import DpuConfig, HostConfig, PimSystemConfig
 from .trace import TRACE_CLOCKS, TraceConfig
 
@@ -64,6 +70,10 @@ __all__ = [
     "HostConfig",
     "PimSystemConfig",
     "RunnerConfig",
+    "ServiceConfig",
+    "TenantQuotaConfig",
+    "TimeSlotConfig",
+    "default_service_config",
     "TRACE_CLOCKS",
     "TraceConfig",
 ]

@@ -30,6 +30,7 @@ from .api import (
     pimnet_reduce,
     pimnet_reduce_scatter,
     pimnet_schedule_times,
+    pimnet_service,
 )
 from .collectives import PIMNET_ALGORITHMS, TierAlgorithm, algorithm_chain
 from .pimnet import PimnetBackend
@@ -84,6 +85,7 @@ __all__ = [
     "pimnet_reduce",
     "pimnet_reduce_scatter",
     "pimnet_schedule_times",
+    "pimnet_service",
     "PIMNET_ALGORITHMS",
     "TierAlgorithm",
     "algorithm_chain",

@@ -156,3 +156,20 @@ def pimnet_schedule_times(
         root=root,
         itemsize=itemsize,
     )
+
+
+def pimnet_service(
+    machine: MachineConfig | None = None,
+    config: "object | None" = None,
+):
+    """A :class:`repro.service.CollectiveService` over ``machine``.
+
+    The multi-tenant asyncio front-end: concurrent submissions from
+    named tenants, time-slot admission, schedule-cache-batched
+    execution.  Start it with ``async with`` (see ``docs/SERVICE.md``).
+    """
+    # Imported lazily: the service package sits above core in the
+    # layering (it imports core.pimnet), so a top-level import cycles.
+    from ..service import CollectiveService
+
+    return CollectiveService(machine=machine, config=config)

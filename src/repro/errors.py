@@ -122,6 +122,17 @@ class BenchError(ReproError):
     schema-incompatible artifact, or an ill-formed comparison."""
 
 
+class ServiceError(ReproError):
+    """The multi-tenant collective service was misconfigured or misused.
+
+    Raised for invalid slot/quota configuration, submissions to a
+    service that is not running, and lost-request accounting violations
+    (``submitted != admitted + rejected + queued``).  Per-request
+    admission failures are *not* exceptions — they come back as explicit
+    ``Rejected`` responses with a reason, never silent drops.
+    """
+
+
 class SchedCacheError(ReproError):
     """The schedule-compilation cache was misused or hit a profile it
     cannot rescale (non-uniform step lengths, unserializable entries).

@@ -24,6 +24,7 @@ from . import (
     straggler_tail,
     table04_tiers,
     table05_algorithms,
+    tenant_service_load,
 )
 from .common import ExperimentTable, SCALING_DPU_COUNTS, scaled_machine
 
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "noc_load_latency": noc_load_latency,
     "fault_sweep": fault_sweep,
     "straggler_tail": straggler_tail,
+    "tenant_service_load": tenant_service_load,
 }
 
 __all__ = [
@@ -74,4 +76,5 @@ __all__ = [
     "message_size_sweep",
     "table04_tiers",
     "table05_algorithms",
+    "tenant_service_load",
 ]

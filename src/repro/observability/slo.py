@@ -45,9 +45,20 @@ _OPS = {
     ">=": lambda a, b: a >= b,
 }
 
+#: Quantile stats, mapped explicitly to the percentile handed to
+#: ``LogBucketSketch.quantile`` — ``p999`` means the 99.9th percentile,
+#: never ``q=999`` (which ``nearest_rank`` would reject only at call
+#: time, and only after the objective had already been accepted).
+_QUANTILE_STATS = {
+    "p50": 50.0,
+    "p90": 90.0,
+    "p99": 99.0,
+    "p999": 99.9,
+}
+
 #: Statistics resolvable on a histogram instrument.
 _HISTOGRAM_STATS = (
-    "p50", "p90", "p99", "p999", "mean", "min", "max", "count", "sum",
+    *_QUANTILE_STATS, "mean", "min", "max", "count", "sum",
 )
 
 
@@ -204,10 +215,7 @@ def _resolve_stat(
             return sketch.min, ""
         if stat == "max":
             return sketch.max, ""
-        q = float(stat[1:]) if len(stat) <= 3 else float(
-            stat[1:3] + "." + stat[3:]
-        )
-        return sketch.quantile(q), ""
+        return sketch.quantile(_QUANTILE_STATS[stat]), ""
     if stat != "value":
         return None, f"{instrument.kind} supports only stat 'value'"
     if instrument.value is None:

@@ -1,0 +1,42 @@
+"""Multi-tenant async collective service with time-sliced admission.
+
+An asyncio front-end over the PIMnet machine: named tenants submit
+collective requests concurrently; a repeating cycle of time slots
+(squidasm's ``StaticScheduleProtocol`` adapted to PIMnet's static
+schedules) admits them under per-tenant quotas and a bounded queue;
+batched same-structure requests compile once through the schedule
+cache and replay per payload.  See ``docs/SERVICE.md``.
+
+Typical use::
+
+    from repro.config import default_service_config
+    from repro.service import CollectiveService
+
+    async with CollectiveService(machine, default_service_config()) as svc:
+        response = await svc.submit("tenant-a", request)
+        assert response.outcome.value in ("admitted", "rejected")
+"""
+
+from .admission import AdmissionQueue, Outcome, QueueEntry, Selection
+from .service import (
+    SERVICE_SUBSTRATE,
+    CollectiveService,
+    OccurrenceRecord,
+    ServiceResponse,
+    TenantStats,
+)
+from .slots import SlotCycle, TimeSlot
+
+__all__ = [
+    "AdmissionQueue",
+    "CollectiveService",
+    "OccurrenceRecord",
+    "Outcome",
+    "QueueEntry",
+    "SERVICE_SUBSTRATE",
+    "Selection",
+    "ServiceResponse",
+    "SlotCycle",
+    "TenantStats",
+    "TimeSlot",
+]

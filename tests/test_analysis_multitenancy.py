@@ -46,3 +46,70 @@ class TestStructure:
             GemvWorkload(batch=1), GemvWorkload(batch=1)
         )
         assert quick.isolation_benefit() >= 1.0
+
+
+class TestSilentFallbackBugfixes:
+    """A broken tenant run must fail loudly, never score as benign."""
+
+    def test_non_positive_alone_time_raises(self):
+        from repro.analysis.multitenancy import TenantResult
+        from repro.errors import ConfigurationError
+
+        broken = TenantResult(
+            workload="CC", backend="B", alone_s=0.0, shared_s=1.0
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            broken.interference_slowdown
+        message = str(excinfo.value)
+        assert "non-positive alone time" in message
+        assert "'CC'" in message and "(B)" in message
+
+    def test_negative_alone_time_raises_too(self):
+        from repro.analysis.multitenancy import TenantResult
+        from repro.errors import ConfigurationError
+
+        broken = TenantResult(
+            workload="EMB", backend="P", alone_s=-2.0, shared_s=1.0
+        )
+        with pytest.raises(ConfigurationError, match="non-positive"):
+            broken.interference_slowdown
+
+    def test_non_positive_slowdown_cannot_enter_geomean(self):
+        from repro.analysis.multitenancy import (
+            MultiTenancyResult,
+            TenantResult,
+        )
+        from repro.errors import ConfigurationError
+
+        good = TenantResult(
+            workload="CC", backend="B", alone_s=1.0, shared_s=2.0
+        )
+        zero_shared = TenantResult(
+            workload="EMB", backend="P", alone_s=1.0, shared_s=0.0
+        )
+        result = MultiTenancyResult(
+            baseline=(good, good), pimnet=(good, zero_shared)
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            result.isolation_benefit()
+        message = str(excinfo.value)
+        assert "non-positive slowdown" in message
+        assert "cannot enter" in message and "'EMB'" in message
+
+    def test_workload_with_no_comm_phases_raises(self):
+        from repro.analysis.multitenancy import _tenant_request_stats
+        from repro.config import small_test_system
+        from repro.errors import ConfigurationError
+        from repro.workloads.base import Workload
+
+        class CommFree(Workload):
+            name = "SILENT"
+
+            def phases(self, machine):
+                return []
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            _tenant_request_stats(CommFree(), small_test_system(), "P")
+        message = str(excinfo.value)
+        assert "produced no communication requests" in message
+        assert "empty sketch" in message

@@ -28,7 +28,7 @@ class TestRegistry:
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
             "hw_overhead", "ablations", "size_sweep",
             "characterization", "noc_load_latency",
-            "fault_sweep", "straggler_tail",
+            "fault_sweep", "straggler_tail", "tenant_service_load",
         }
         assert set(EXPERIMENTS) == expected
 

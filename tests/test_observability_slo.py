@@ -3,14 +3,19 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ObservabilityError
 from repro.observability import (
+    LogBucketSketch,
     MetricsRegistry,
     SloObjective,
     evaluate_slos,
     load_objectives,
 )
+from repro.observability.histo import nearest_rank
+from repro.observability.slo import _HISTOGRAM_STATS
 
 
 def _registry() -> MetricsRegistry:
@@ -127,3 +132,112 @@ class TestLoadObjectives:
         path.write_text('"latency"')
         with pytest.raises(ObservabilityError, match="list of objectives"):
             load_objectives(str(path))
+
+
+class TestHistogramStatResolution:
+    """Every _HISTOGRAM_STATS name must resolve against a known sample
+    set to exactly the value computed directly from the data — in
+    particular ``p999`` means the 99.9th percentile (q=99.9), never
+    ``q=999``."""
+
+    SAMPLES = [float(i) for i in range(1, 1001)]  # 1..1000, exact path
+
+    def _report(self, stat):
+        reg = MetricsRegistry()
+        hist = reg.histogram("sample_s")
+        for value in self.SAMPLES:
+            hist.observe(value)
+        report = evaluate_slos(
+            reg, [SloObjective("sample_s", stat, "<=", float("inf"))]
+        )
+        return report.checks[0]
+
+    @pytest.mark.parametrize("stat", list(_HISTOGRAM_STATS))
+    def test_every_stat_resolves_without_detail(self, stat):
+        check = self._report(stat)
+        assert check.passed, check.detail
+        assert check.observed is not None
+        assert check.detail == ""
+
+    @pytest.mark.parametrize(
+        "stat,expected_q",
+        [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("p999", 99.9)],
+    )
+    def test_quantile_stats_hit_nearest_rank(self, stat, expected_q):
+        check = self._report(stat)
+        expected = nearest_rank(self.SAMPLES, expected_q)
+        assert check.observed == expected
+
+    def test_p999_is_the_99_9th_percentile(self):
+        # p999 resolves to q=99.9 — above p99, and q=999 would not even
+        # be a legal percentile (nearest_rank rejects it outright).
+        observed = self._report("p999").observed
+        assert observed == nearest_rank(self.SAMPLES, 99.9)
+        assert observed >= nearest_rank(self.SAMPLES, 99.0)
+        with pytest.raises(ObservabilityError):
+            nearest_rank(self.SAMPLES, 999.0)
+
+    def test_non_quantile_stats_match_direct_computation(self):
+        n = len(self.SAMPLES)
+        expected = {
+            "mean": sum(self.SAMPLES) / n,
+            "min": min(self.SAMPLES),
+            "max": max(self.SAMPLES),
+            "count": float(n),
+            "sum": float(sum(self.SAMPLES)),
+        }
+        for stat, value in expected.items():
+            assert self._report(stat).observed == pytest.approx(value)
+
+    @given(
+        samples=st.lists(
+            st.floats(
+                min_value=1e-9, max_value=1e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=200,
+        )
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_quantiles_match_sketch_on_random_samples(self, samples):
+        reg = MetricsRegistry()
+        hist = reg.histogram("rand_s")
+        sketch = LogBucketSketch()
+        for value in samples:
+            hist.observe(value)
+            sketch.observe(value)
+        for stat, q in (("p50", 50.0), ("p90", 90.0),
+                        ("p99", 99.0), ("p999", 99.9)):
+            report = evaluate_slos(
+                reg, [SloObjective("rand_s", stat, "<=", float("inf"))]
+            )
+            assert report.checks[0].observed == sketch.quantile(q)
+
+
+class TestEmptySketchFailsLoudly:
+    """A valid stat over a histogram nothing observed must fail the
+    objective with an explicit detail — silence is not success."""
+
+    def test_empty_histogram_fails_with_detail(self):
+        reg = MetricsRegistry()
+        reg.histogram("noop_s")  # registered, never observed
+        report = evaluate_slos(
+            reg, [SloObjective("noop_s", "p99", "<", 1.0)]
+        )
+        check = report.checks[0]
+        assert not report.ok
+        assert not check.passed
+        assert check.observed is None
+        assert check.detail == "histogram has no observations"
+
+    def test_empty_histogram_fails_for_every_quantile_stat(self):
+        reg = MetricsRegistry()
+        reg.histogram("noop_s")
+        for stat in ("p50", "p90", "p99", "p999", "mean", "min", "max"):
+            report = evaluate_slos(
+                reg, [SloObjective("noop_s", stat, "<", 1.0)]
+            )
+            assert not report.ok, stat
+            assert report.checks[0].detail == (
+                "histogram has no observations"
+            ), stat
