@@ -53,6 +53,7 @@ from .core import (
 )
 from .schedcache import ScheduleCache, use_schedule_cache
 from .service import CollectiveService, ServiceResponse
+from .fleet import FleetResponse, FleetRouter
 from .config import TraceConfig
 from .errors import ReproError
 from .machine import PimMachine
@@ -93,6 +94,8 @@ __all__ = [
     "use_schedule_cache",
     "CollectiveService",
     "ServiceResponse",
+    "FleetResponse",
+    "FleetRouter",
     "PimMachine",
     "ReproError",
     "Instrumentation",

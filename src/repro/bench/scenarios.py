@@ -189,6 +189,28 @@ def _schedcache_warm(cache: Any) -> None:
         cache.timing(collective, shape, num_elements, network)
 
 
+def _service_steady_state(_: Any) -> None:
+    from ..experiments import tenant_service_load
+
+    tenant_service_load.run(
+        tenants=2, requests_per_tenant=24, concurrency=4, seed=5
+    )
+
+
+def _fleet_degraded(_: Any) -> None:
+    from ..experiments import fleet_resilience
+
+    fleet_resilience.run_trial(
+        shards=3,
+        tenants=3,
+        requests_per_tenant=12,
+        concurrency=4,
+        seed=5,
+        kill_after=8,
+        outage_duration=12,
+    )
+
+
 def _rmtree(path: str) -> None:
     shutil.rmtree(path, ignore_errors=True)
 
@@ -251,6 +273,26 @@ register_scenario(
         ),
         body=_schedcache_warm,
         setup=_schedcache_warm_setup,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="service_steady_state",
+        description=(
+            "two-tenant closed-loop drive of one collective service, "
+            "no faults"
+        ),
+        body=_service_steady_state,
+    )
+)
+register_scenario(
+    BenchScenario(
+        name="fleet_degraded",
+        description=(
+            "three-shard fleet drive with one shard killed and "
+            "revived mid-run"
+        ),
+        body=_fleet_degraded,
     )
 )
 register_scenario(

@@ -687,6 +687,7 @@ def cmd_service(args: argparse.Namespace) -> int:
     )
     if getattr(args, "json", False):
         payload = {
+            "seed": args.seed,
             "params": result.params,
             "stats": result.stats,
             "tenants": [
@@ -708,7 +709,130 @@ def cmd_service(args: argparse.Namespace) -> int:
             payload["slo_file"] = slo_file_report.to_dict()
         print(json.dumps(payload, indent=1))
         return _write_outputs(instrumentation) or (1 if slo_failed else 0)
+    print(f"seed: {args.seed}")
     print(tenant_service_load.format_table(result))
+    if slo_file_report is not None:
+        print(slo_file_report.format())
+    return _write_outputs(instrumentation) or (1 if slo_failed else 0)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet serve|bench|status``: the sharded fleet layer."""
+    from .experiments import fleet_resilience
+    from .fleet import ShardHealth, fleet_assignment, shard_ranking
+
+    if args.fleet_command == "status":
+        tenants = fleet_resilience.tenant_names(args.tenants)
+        assignment = fleet_assignment(tenants, args.shards)
+        down = set(args.kill_shard or ())
+        for shard in down:
+            if not 0 <= shard < args.shards:
+                print(
+                    f"--kill-shard {shard} out of range for "
+                    f"{args.shards} shard(s)",
+                    file=sys.stderr,
+                )
+                return 2
+        health = {
+            index: (
+                ShardHealth.DOWN if index in down else ShardHealth.HEALTHY
+            )
+            for index in range(args.shards)
+        }
+        routes = {}
+        for tenant in tenants:
+            ranking = shard_ranking(tenant, args.shards)
+            serving = [i for i in ranking if health[i].serving]
+            routes[tenant] = {
+                "home": assignment[tenant],
+                "ranking": list(ranking),
+                "routed_to": serving[0] if serving else None,
+            }
+        if getattr(args, "json", False):
+            payload = {
+                "shards": {
+                    f"shard-{index}": {
+                        "health": health[index].value,
+                        "tenants": sorted(
+                            t for t, home in assignment.items()
+                            if home == index
+                        ),
+                    }
+                    for index in range(args.shards)
+                },
+                "tenants": routes,
+            }
+            print(json.dumps(payload, indent=1))
+            return 0
+        print(f"fleet: {args.shards} shard(s), {args.tenants} tenant(s)")
+        for index in range(args.shards):
+            homed = sorted(
+                t for t, home in assignment.items() if home == index
+            )
+            print(
+                f"  shard-{index}  {health[index].value:8s} "
+                f"home to: {', '.join(homed) if homed else '(none)'}"
+            )
+        for tenant in tenants:
+            route = routes[tenant]
+            ranking = " > ".join(str(i) for i in route["ranking"])
+            target = (
+                f"shard-{route['routed_to']}"
+                if route["routed_to"] is not None
+                else "UNROUTABLE"
+            )
+            print(f"  {tenant:8s} ranking [{ranking}] -> {target}")
+        return 0
+
+    # bench / serve: one deterministic trial, optional mid-run kill.
+    instrumentation = _run_instrumentation(args)
+    kill = args.kill_shard[0] if args.kill_shard else None
+    if kill is not None and not 0 <= kill < args.shards:
+        print(
+            f"--kill-shard {kill} out of range for {args.shards} shard(s)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with instrumentation.activate():
+            value = fleet_resilience.run_trial(
+                trial=0,
+                seed=args.seed,
+                shards=args.shards,
+                tenants=args.tenants,
+                requests_per_tenant=args.requests,
+                concurrency=args.concurrency,
+                kill_shard=kill,
+                kill_after=args.kill_after,
+                outage_duration=args.outage_duration,
+                max_reroutes=args.max_reroutes,
+                timeout_s=args.timeout,
+            )
+            slo_file_report = _evaluate_slo_file(getattr(args, "slo", None))
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"fleet bench failed: {exc}", file=sys.stderr)
+        return 1
+    slo_failed = not value["slo"]["ok"] or (
+        slo_file_report is not None and not slo_file_report.ok
+    )
+    if getattr(args, "json", False):
+        payload = {
+            "seed": args.seed,
+            "params": {
+                "shards": args.shards,
+                "tenants": args.tenants,
+                "requests_per_tenant": args.requests,
+                "concurrency": args.concurrency,
+                "max_reroutes": args.max_reroutes,
+            },
+            **value,
+        }
+        if slo_file_report is not None:
+            payload["slo_file"] = slo_file_report.to_dict()
+        print(json.dumps(payload, indent=1))
+        return _write_outputs(instrumentation) or (1 if slo_failed else 0)
+    print(f"seed: {args.seed}")
+    print(fleet_resilience.format_table([value]))
     if slo_file_report is not None:
         print(slo_file_report.format())
     return _write_outputs(instrumentation) or (1 if slo_failed else 0)
@@ -1398,6 +1522,99 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="alias for 'service bench'"
     )
     _service_options(p_serve)
+
+    def _fleet_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--shards", type=int, default=3, metavar="N",
+            help="number of service shards (default: 3)",
+        )
+        parser.add_argument(
+            "--tenants", type=int, default=5, metavar="N",
+            help="number of synthetic tenants (default: 5)",
+        )
+        parser.add_argument(
+            "--kill-shard", type=int, action="append", default=None,
+            metavar="I",
+            help="shard to take down (status: mark down; bench: kill "
+            "mid-run; default for bench: the busiest shard)",
+        )
+        parser.add_argument(
+            "--json", action="store_true",
+            help="emit the full report as JSON",
+        )
+
+    def _fleet_bench_options(parser: argparse.ArgumentParser) -> None:
+        _fleet_common(parser)
+        parser.add_argument(
+            "--requests", type=int, default=48, metavar="N",
+            help="requests per tenant (default: 48)",
+        )
+        parser.add_argument(
+            "--concurrency", type=int, default=4, metavar="N",
+            help="closed-loop outstanding requests per tenant "
+            "(default: 4)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=23, metavar="N",
+            help="payload-mix and fault-sampling seed (default: 23)",
+        )
+        parser.add_argument(
+            "--kill-after", type=int, default=None, metavar="N",
+            help="fleet submissions before the kill (default: a third "
+            "of the total)",
+        )
+        parser.add_argument(
+            "--outage-duration", type=int, default=None, metavar="N",
+            help="submissions the shard stays down (default: a third "
+            "of the total)",
+        )
+        parser.add_argument(
+            "--max-reroutes", type=int, default=2, metavar="N",
+            help="extra shards to try after the first choice "
+            "(default: 2)",
+        )
+        parser.add_argument(
+            "--timeout", type=float, default=120.0, metavar="SECONDS",
+            help="hard wall-clock bound; a deadlocked event loop fails "
+            "fast (default: 120)",
+        )
+        parser.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write a Chrome trace-event JSON of the run to PATH",
+        )
+        parser.add_argument(
+            "--metrics", metavar="PATH", default=None,
+            help="write collected metrics (fleet.* families included) "
+            "to PATH (.csv for CSV, else JSON)",
+        )
+        parser.add_argument(
+            "--slo", metavar="PATH", default=None,
+            help="evaluate extra SLO objectives from a JSON file "
+            "(requires --metrics); nonzero exit on violation",
+        )
+        parser.set_defaults(func=cmd_fleet)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="sharded fleet: N service shards behind a retry router",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fleet_bench = fleet_sub.add_parser(
+        "bench",
+        help="closed-loop fleet load with an optional mid-run shard kill",
+    )
+    _fleet_bench_options(p_fleet_bench)
+    # `repro fleet serve` is the long-lived spelling of `fleet bench`.
+    p_fleet_serve = fleet_sub.add_parser(
+        "serve", help="alias for 'fleet bench'"
+    )
+    _fleet_bench_options(p_fleet_serve)
+    p_fleet_status = fleet_sub.add_parser(
+        "status",
+        help="show the deterministic tenant->shard assignment and health",
+    )
+    _fleet_common(p_fleet_status)
+    p_fleet_status.set_defaults(func=cmd_fleet)
     return parser
 
 

@@ -28,6 +28,12 @@ from .faults import (
     FaultCampaignConfig,
     FaultModelConfig,
 )
+from .fleet import (
+    FleetConfig,
+    ShardOutageConfig,
+    default_fleet_config,
+    kill_shard_outage,
+)
 from .presets import (
     MachineConfig,
     pimnet_sim_system,
@@ -62,6 +68,10 @@ __all__ = [
     "FAULT_KINDS",
     "FaultCampaignConfig",
     "FaultModelConfig",
+    "FleetConfig",
+    "ShardOutageConfig",
+    "default_fleet_config",
+    "kill_shard_outage",
     "MachineConfig",
     "pimnet_sim_system",
     "small_test_system",

@@ -1,0 +1,197 @@
+"""Sharded-fleet configuration: N service shards plus outage plans.
+
+A fleet (:mod:`repro.fleet`) fronts ``shards`` independent
+:class:`~repro.service.CollectiveService` instances with a router that
+assigns tenants to shards by rendezvous hashing and retries around
+unhealthy shards.  :class:`ShardOutageConfig` describes a deterministic
+mid-run outage: once the fleet-wide submission counter reaches
+``after_submissions``, a fault set sampled from ``model`` (via
+:mod:`repro.faults.model`) is injected into the named shard; a fatal
+set takes the shard down, a non-fatal one degrades it.  With
+``duration_submissions > 0`` the shard is revived (a fresh service on
+the same machine) that many submissions later.
+
+Everything here is JSON-round-trippable and eagerly validated, matching
+:mod:`repro.config.service`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from .faults import FaultModelConfig
+from .service import ServiceConfig, default_service_config
+
+__all__ = [
+    "FleetConfig",
+    "ShardOutageConfig",
+    "default_fleet_config",
+    "kill_shard_outage",
+]
+
+
+@dataclass(frozen=True)
+class ShardOutageConfig:
+    """One deterministic fault-injection window against one shard.
+
+    The trigger is the *fleet* submission counter, not wall or simulated
+    time, so an outage lands at the same request boundary on every run
+    regardless of event-loop interleaving.
+    """
+
+    shard: int
+    after_submissions: int
+    #: 0 means the shard stays out for the rest of the run.
+    duration_submissions: int = 0
+    #: Sampled against the shard's machine; the all-banks fail-stop
+    #: default makes the sampled set fatal, i.e. a hard kill.
+    model: FaultModelConfig = field(
+        default_factory=lambda: FaultModelConfig(bank_fail_stop_rate=1.0)
+    )
+    seed: int = 0
+    targets: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shard, int) or self.shard < 0:
+            raise ConfigurationError(
+                f"outage shard must be an int >= 0, got {self.shard!r}"
+            )
+        for attr in ("after_submissions", "duration_submissions"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"outage {attr} must be an int >= 0, got {value!r}"
+                )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"outage seed must be an int, got {self.seed!r}"
+            )
+        object.__setattr__(
+            self, "targets", tuple(str(t) for t in self.targets)
+        )
+
+    @property
+    def revive_at(self) -> int | None:
+        """Submission count at which the shard comes back (None = never)."""
+        if self.duration_submissions == 0:
+            return None
+        return self.after_submissions + self.duration_submissions
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "after_submissions": self.after_submissions,
+            "duration_submissions": self.duration_submissions,
+            "model": self.model.as_dict(),
+            "seed": self.seed,
+            "targets": list(self.targets),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardOutageConfig":
+        return cls(
+            shard=int(data["shard"]),
+            after_submissions=int(data["after_submissions"]),
+            duration_submissions=int(data.get("duration_submissions", 0)),
+            model=FaultModelConfig.from_dict(dict(data.get("model", {}))),
+            seed=int(data.get("seed", 0)),
+            targets=tuple(data.get("targets", ())),
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """N identical service shards behind the rendezvous router.
+
+    ``max_reroutes`` bounds how many *additional* shards the router may
+    try after the first choice rejects or goes down; the candidate list
+    is the tenant's rendezvous ranking, so retry targets are as stable
+    as the primary assignment.
+    """
+
+    shards: int = 3
+    service: ServiceConfig = field(default_factory=default_service_config)
+    max_reroutes: int = 2
+    outages: tuple[ShardOutageConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ConfigurationError(
+                f"fleet shards must be an int >= 1, got {self.shards!r}"
+            )
+        if not isinstance(self.max_reroutes, int) or self.max_reroutes < 0:
+            raise ConfigurationError(
+                f"max_reroutes must be an int >= 0, got {self.max_reroutes!r}"
+            )
+        outages = tuple(self.outages)
+        for outage in outages:
+            if outage.shard >= self.shards:
+                raise ConfigurationError(
+                    f"outage targets shard {outage.shard} but the fleet "
+                    f"has only {self.shards} shard(s)"
+                )
+        if len({o.shard for o in outages}) != len(outages):
+            raise ConfigurationError(
+                "at most one outage plan per shard is supported"
+            )
+        object.__setattr__(
+            self,
+            "outages",
+            tuple(sorted(outages, key=lambda o: (o.after_submissions,
+                                                 o.shard))),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "service": self.service.as_dict(),
+            "max_reroutes": self.max_reroutes,
+            "outages": [o.as_dict() for o in self.outages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetConfig":
+        return cls(
+            shards=int(data.get("shards", 3)),
+            service=ServiceConfig.from_dict(
+                data.get("service", default_service_config().as_dict())
+            ),
+            max_reroutes=int(data.get("max_reroutes", 2)),
+            outages=tuple(
+                ShardOutageConfig.from_dict(o)
+                for o in data.get("outages", ())
+            ),
+        )
+
+
+def kill_shard_outage(
+    shard: int,
+    after_submissions: int,
+    duration_submissions: int = 0,
+    seed: int = 0,
+) -> ShardOutageConfig:
+    """A hard fail-stop outage (every bank dead => fatal fault set)."""
+    return ShardOutageConfig(
+        shard=shard,
+        after_submissions=after_submissions,
+        duration_submissions=duration_submissions,
+        model=FaultModelConfig(bank_fail_stop_rate=1.0),
+        seed=seed,
+    )
+
+
+def default_fleet_config(
+    shards: int = 3,
+    service: ServiceConfig | None = None,
+    max_reroutes: int = 2,
+    outages: tuple[ShardOutageConfig, ...] = (),
+) -> FleetConfig:
+    """A small homogeneous fleet over the default admission cycle."""
+    return FleetConfig(
+        shards=shards,
+        service=service or default_service_config(),
+        max_reroutes=max_reroutes,
+        outages=outages,
+    )

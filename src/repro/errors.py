@@ -133,6 +133,19 @@ class ServiceError(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """The sharded fleet router was misconfigured or lost a request.
+
+    Raised for invalid fleet configuration (shard indices out of range,
+    overlapping outage windows), submissions to a router that is not
+    running, and fleet-level conservation violations (``submitted !=
+    admitted + rerouted + rejected + failed``).  Per-request routing
+    failures are *not* exceptions — they come back as explicit
+    ``Rejected``/``Failed`` fleet responses with a reason, never silent
+    drops.
+    """
+
+
 class SchedCacheError(ReproError):
     """The schedule-compilation cache was misused or hit a profile it
     cannot rescale (non-uniform step lengths, unserializable entries).

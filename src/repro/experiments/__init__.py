@@ -18,6 +18,7 @@ from . import (
     fig15_alt_pim,
     fig16_multichannel,
     fig17_multitenancy,
+    fleet_resilience,
     hw_overhead,
     message_size_sweep,
     noc_load_latency,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "fault_sweep": fault_sweep,
     "straggler_tail": straggler_tail,
     "tenant_service_load": tenant_service_load,
+    "fleet_resilience": fleet_resilience,
 }
 
 __all__ = [
@@ -72,6 +74,7 @@ __all__ = [
     "fig15_alt_pim",
     "fig16_multichannel",
     "fig17_multitenancy",
+    "fleet_resilience",
     "hw_overhead",
     "message_size_sweep",
     "table04_tiers",

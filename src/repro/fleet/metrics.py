@@ -1,0 +1,133 @@
+"""Fleet-wide metrics: per-shard registries folded into one view.
+
+Each shard handle owns a private :class:`~repro.observability.
+MetricsRegistry` the router reports into (``fleet.request_latency_s
+{tenant,shard}`` latency sketches plus per-shard admission counters);
+the router keeps its own registry for fleet-level counters
+(``fleet.submitted`` / ``fleet.admitted`` / ``fleet.rerouted`` /
+``fleet.rejected`` / ``fleet.failed`` / ``fleet.reroutes``).
+
+:func:`fold_registries` merges them all through the mergeable-registry
+path (counters add, gauges keep the peak, histogram sketches fold), so
+the fleet view is exactly what N independent machines would report to a
+central scraper — and it exports through the existing
+:func:`~repro.observability.metrics_to_prometheus` exposition
+unchanged.  :func:`default_fleet_objectives` states the fleet SLOs
+(per-tenant p99/p999, rejection rate, reroute rate) evaluated against
+that merged view.
+"""
+
+from __future__ import annotations
+
+from ..observability import (
+    LogBucketSketch,
+    MetricsRegistry,
+    SloObjective,
+)
+
+__all__ = [
+    "FLEET_COUNTERS",
+    "LATENCY_METRIC",
+    "default_fleet_objectives",
+    "fold_registries",
+    "shard_label",
+    "tenant_latency_sketch",
+]
+
+#: Merged per-request latency family, labeled by tenant and the shard
+#: that finally served (or last rejected) the request.
+LATENCY_METRIC = "fleet.request_latency_s"
+
+#: Fleet-level outcome counters, materialized at zero on router start so
+#: a clean run reads rate 0 rather than a missing metric.
+FLEET_COUNTERS = (
+    "fleet.submitted",
+    "fleet.admitted",
+    "fleet.rerouted",
+    "fleet.rejected",
+    "fleet.failed",
+    "fleet.reroutes",
+)
+
+
+def shard_label(index: int) -> str:
+    """The ``shard`` label value for shard ``index``."""
+    return f"shard-{index}"
+
+
+def fold_registries(
+    registries: "list[MetricsRegistry] | tuple[MetricsRegistry, ...]",
+) -> MetricsRegistry:
+    """Fold shard registries into one fleet-wide view (PR 6 merge path)."""
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged
+
+
+def tenant_latency_sketch(
+    registry: MetricsRegistry, tenant: str
+) -> LogBucketSketch | None:
+    """One tenant's latency sketch folded across every shard label.
+
+    ``None`` when the tenant never had a request served — quantiles on
+    a missing tenant must read as missing, not as zero.
+    """
+    folded: LogBucketSketch | None = None
+    for histogram in registry.histograms.values():
+        if histogram.name != LATENCY_METRIC:
+            continue
+        if histogram.labels.get("tenant") != tenant:
+            continue
+        if folded is None:
+            folded = LogBucketSketch()
+        folded.merge(histogram.sketch)
+    return folded
+
+
+def default_fleet_objectives(
+    tenant_homes: "dict[str, int]",
+    p99_s: float,
+    rejection_rate: float = 0.5,
+    reroute_rate: float = 0.5,
+) -> list[SloObjective]:
+    """The standard fleet SLO set against the merged registry.
+
+    ``tenant_homes`` maps tenant name -> home shard index; the latency
+    objectives pin each tenant's p99 *on its home shard*, which is the
+    graceful-degradation statement: tenants whose home shard never
+    failed must be unaffected by another shard's outage.
+    """
+    objectives = [
+        SloObjective(
+            LATENCY_METRIC, "p99", "<", p99_s,
+            labels={"tenant": tenant, "shard": shard_label(home)},
+        )
+        for tenant, home in sorted(tenant_homes.items())
+    ]
+    if tenant_homes:
+        first = sorted(tenant_homes)[0]
+        objectives.append(
+            SloObjective(
+                LATENCY_METRIC, "p999", "<", 2 * p99_s,
+                labels={
+                    "tenant": first,
+                    "shard": shard_label(tenant_homes[first]),
+                },
+            )
+        )
+    objectives.append(
+        SloObjective(
+            "fleet.rejected", "value", "<=", rejection_rate,
+            per="fleet.submitted",
+            name=f"fleet rejection rate <= {rejection_rate:.0%}",
+        )
+    )
+    objectives.append(
+        SloObjective(
+            "fleet.rerouted", "value", "<=", reroute_rate,
+            per="fleet.submitted",
+            name=f"fleet reroute rate <= {reroute_rate:.0%}",
+        )
+    )
+    return objectives

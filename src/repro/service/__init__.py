@@ -19,6 +19,7 @@ Typical use::
 
 from .admission import AdmissionQueue, Outcome, QueueEntry, Selection
 from .service import (
+    CLOSED_REASON,
     SERVICE_SUBSTRATE,
     CollectiveService,
     OccurrenceRecord,
@@ -29,6 +30,7 @@ from .slots import SlotCycle, TimeSlot
 
 __all__ = [
     "AdmissionQueue",
+    "CLOSED_REASON",
     "CollectiveService",
     "OccurrenceRecord",
     "Outcome",

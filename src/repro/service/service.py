@@ -43,6 +43,7 @@ from .admission import AdmissionQueue, Outcome, QueueEntry
 from .slots import SlotCycle, TimeSlot
 
 __all__ = [
+    "CLOSED_REASON",
     "CollectiveService",
     "OccurrenceRecord",
     "ServiceResponse",
@@ -52,6 +53,12 @@ __all__ = [
 #: Substrate label under which service latencies land in the existing
 #: ``tenant.request_latency_s{substrate=..., tenant=...}`` family.
 SERVICE_SUBSTRATE = "Service"
+
+#: Rejection reason stamped on requests still queued when the service
+#: closes.  The fleet router (:mod:`repro.fleet`) matches on this exact
+#: string to tell a shard outage (retryable on another shard) apart
+#: from admission backpressure, so change it in lockstep.
+CLOSED_REASON = "service closed before the request was admitted"
 
 
 @dataclass(frozen=True)
@@ -225,7 +232,7 @@ class CollectiveService:
         for entry in self._queue.drain_all():
             response = self._reject_response(
                 entry.tenant, entry.sequence, entry.request,
-                "service closed before the request was admitted",
+                CLOSED_REASON,
                 arrival_s=entry.arrival_s,
             )
             if entry.handle is not None and not entry.handle.done():

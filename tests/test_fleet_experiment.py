@@ -1,0 +1,145 @@
+"""The fleet_resilience experiment, its bench scenarios, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.scenarios import SCENARIOS
+from repro.cli import main
+from repro.experiments import EXPERIMENTS, fleet_resilience
+from repro.fleet import home_shard
+
+pytestmark = pytest.mark.fleet
+
+#: One small trial shared by most assertions (kill + revive mid-run).
+SMALL = dict(
+    shards=3, tenants=3, requests_per_tenant=12, concurrency=4, seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def trial():
+    return fleet_resilience.run_trial(**SMALL)
+
+
+class TestRunTrial:
+    def test_every_request_resolves_explicitly(self, trial):
+        total = SMALL["tenants"] * SMALL["requests_per_tenant"]
+        stats = trial["stats"]
+        assert stats["submitted"] == total
+        assert (
+            stats["admitted"] + stats["rerouted"]
+            + stats["rejected"] + stats["failed"]
+        ) == total
+
+    def test_outage_displaces_traffic_and_recovers(self, trial):
+        assert trial["stats"]["rerouted"] > 0
+        news = [t["new"] for t in trial["stats"]["transitions"]]
+        assert news == ["down", "healthy"]
+        # After the revive every shard serves again.
+        assert set(trial["stats"]["health"].values()) == {"healthy"}
+
+    def test_kill_lands_on_the_busiest_shard(self, trial):
+        homes = [t["home"] for t in trial["tenants"].values()]
+        loads = {shard: homes.count(shard) for shard in set(homes)}
+        assert loads[trial["killed_shard"]] == max(loads.values())
+
+    def test_unaffected_tenants_meet_the_slo(self, trial):
+        assert trial["slo"]["ok"], trial["slo"]
+
+    def test_tenant_summaries_conserve_requests(self, trial):
+        for name, summary in trial["tenants"].items():
+            resolved = (
+                summary["admitted"] + summary["rerouted"]
+                + summary["rejected"] + summary["failed"]
+            )
+            assert resolved == SMALL["requests_per_tenant"], name
+            assert summary["home"] == home_shard(name, SMALL["shards"])
+
+    def test_trial_is_deterministic(self, trial):
+        again = fleet_resilience.run_trial(**SMALL)
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            trial, sort_keys=True
+        )
+
+    def test_trials_differ_by_seed(self, trial):
+        other = fleet_resilience.run_trial(trial=1, **SMALL)
+        assert other["trial_seed"] != trial["trial_seed"]
+
+    def test_result_is_json_serializable(self, trial):
+        json.dumps(trial)
+
+
+class TestDriver:
+    def test_registered(self):
+        assert EXPERIMENTS["fleet_resilience"] is fleet_resilience
+        assert fleet_resilience.SPEC.experiment_id == "fleet_resilience"
+
+    def test_run_returns_one_value_per_trial(self):
+        values = fleet_resilience.run(trials=2, **SMALL)
+        assert [v["trial"] for v in values] == [0, 1]
+
+    def test_format_table_shows_all_panels(self, trial):
+        text = fleet_resilience.format_table([trial])
+        assert "fleet_resilience" in text
+        assert "health transition" in text.lower()
+        assert "slo" in text.lower()
+        # The killed shard's tenants are starred in the load table.
+        assert "*" in text
+
+
+class TestBenchScenarios:
+    def test_fleet_scenarios_registered(self):
+        assert "service_steady_state" in SCENARIOS
+        assert "fleet_degraded" in SCENARIOS
+
+    def test_fleet_degraded_body_runs(self):
+        scenario = SCENARIOS["fleet_degraded"]
+        scenario.body(scenario.setup())
+
+
+class TestCli:
+    ARGS = [
+        "fleet", "bench", "--shards", "3", "--tenants", "3",
+        "--requests", "8", "--concurrency", "4", "--seed", "5",
+    ]
+
+    def test_bench_text_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("seed: 5")
+        assert "fleet_resilience" in out
+
+    def test_bench_json_output(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 5
+        assert payload["stats"]["submitted"] == 24
+        assert payload["slo"]["ok"] is True
+
+    def test_status_reports_assignment(self, capsys):
+        assert main(
+            ["fleet", "status", "--shards", "3", "--tenants", "3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["shards"]) == {"shard-0", "shard-1", "shard-2"}
+        for name, entry in payload["tenants"].items():
+            assert entry["home"] == home_shard(name, 3)
+            assert entry["routed_to"] == entry["home"]
+
+    def test_status_with_killed_shard_reroutes(self, capsys):
+        assert main(
+            [
+                "fleet", "status", "--shards", "3", "--tenants", "4",
+                "--kill-shard", "0", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"]["shard-0"]["health"] == "down"
+        for entry in payload["tenants"].values():
+            assert entry["routed_to"] != 0
+
+    def test_kill_shard_out_of_range_is_a_usage_error(self, capsys):
+        assert main(
+            ["fleet", "status", "--shards", "2", "--kill-shard", "5"]
+        ) == 2

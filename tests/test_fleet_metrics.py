@@ -1,0 +1,214 @@
+"""Fleet metrics: registry folding, SLO wiring, Prometheus round-trip.
+
+The Prometheus block is the satellite contract: the merged ``fleet.*``
+families — labeled by tenant and shard — must survive the existing
+:func:`metrics_to_prometheus` exposition unchanged: label values escape
+per the exposition rules, every histogram series ends with a ``+Inf``
+bucket, and the cumulative counts reconcile with ``_count``.
+"""
+
+import asyncio
+import re
+
+import pytest
+
+from repro.collectives.patterns import Collective, CollectiveRequest
+from repro.config import small_test_system
+from repro.config.fleet import FleetConfig
+from repro.config.service import (
+    ServiceConfig,
+    TenantQuotaConfig,
+    TimeSlotConfig,
+)
+from repro.fleet import (
+    FLEET_COUNTERS,
+    LATENCY_METRIC,
+    FleetRouter,
+    default_fleet_objectives,
+    fold_registries,
+    shard_label,
+    tenant_latency_sketch,
+)
+from repro.observability import (
+    MetricsRegistry,
+    evaluate_slos,
+    metrics_to_prometheus,
+)
+
+pytestmark = pytest.mark.fleet
+
+TINY = small_test_system()
+
+
+def shard_registry(index: int, tenant: str, latencies) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    label = shard_label(index)
+    for latency in latencies:
+        registry.counter("fleet.shard.admitted", {"shard": label}).inc()
+        registry.histogram(
+            LATENCY_METRIC, {"tenant": tenant, "shard": label}
+        ).observe(latency)
+    return registry
+
+
+class TestFolding:
+    def test_counters_add_and_sketches_fold(self):
+        a = shard_registry(0, "t", [1e-3, 2e-3])
+        b = shard_registry(1, "t", [4e-3])
+        merged = fold_registries([a, b])
+        assert (
+            merged.counter(
+                "fleet.shard.admitted", {"shard": "shard-0"}
+            ).value == 2
+        )
+        assert (
+            merged.counter(
+                "fleet.shard.admitted", {"shard": "shard-1"}
+            ).value == 1
+        )
+        sketch = tenant_latency_sketch(merged, "t")
+        assert sketch is not None and sketch.count == 3
+
+    def test_folding_leaves_inputs_untouched(self):
+        a = shard_registry(0, "t", [1e-3])
+        fold_registries([a, shard_registry(1, "t", [2e-3])])
+        assert (
+            a.counter("fleet.shard.admitted", {"shard": "shard-0"}).value
+            == 1
+        )
+
+    def test_missing_tenant_reads_as_missing(self):
+        merged = fold_registries([shard_registry(0, "t", [1e-3])])
+        assert tenant_latency_sketch(merged, "nobody") is None
+
+
+class TestObjectives:
+    def test_default_set_shape(self):
+        objectives = default_fleet_objectives(
+            {"a": 0, "b": 2}, p99_s=10e-3
+        )
+        # p99 per tenant, one p999 probe, rejection + reroute rates.
+        assert len(objectives) == 5
+        stats = [o.stat for o in objectives]
+        assert stats.count("p99") == 2 and stats.count("p999") == 1
+
+    def test_rates_evaluate_against_merged_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("fleet.submitted").inc(10)
+        registry.counter("fleet.rejected").inc(1)
+        registry.counter("fleet.rerouted").inc(2)
+        objectives = default_fleet_objectives(
+            {}, p99_s=10e-3, rejection_rate=0.5, reroute_rate=0.5
+        )
+        report = evaluate_slos(registry, objectives)
+        assert report.ok
+
+
+# --------------------------------------------------------------------------
+# Prometheus exposition round-trip.
+# --------------------------------------------------------------------------
+
+_SERIES = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """series (name + label string) -> value, ignoring comments."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SERIES.match(line)
+        assert match is not None, f"unparseable exposition line: {line!r}"
+        name, labels, value = match.groups()
+        series[f"{name}{labels or ''}"] = float(value)
+    return series
+
+
+class TestPrometheusRoundTrip:
+    def test_labeled_fleet_families_export_and_reconcile(self):
+        merged = fold_registries(
+            [
+                shard_registry(0, "tenant-a", [1e-3, 2e-3, 3e-3]),
+                shard_registry(1, "tenant-a", [5e-3]),
+            ]
+        )
+        text = metrics_to_prometheus(merged)
+        series = parse_exposition(text)
+
+        assert (
+            series[
+                'fleet_shard_admitted_total{shard="shard-0"}'
+            ] == 3.0
+        )
+        # Every histogram series ends at +Inf, and the cumulative count
+        # there must equal the _count series — per shard label.
+        for shard, expect in (("shard-0", 3.0), ("shard-1", 1.0)):
+            labels = f'shard="{shard}",tenant="tenant-a"'
+            inf = series[
+                f'fleet_request_latency_s_bucket{{{labels},le="+Inf"}}'
+            ]
+            count = series[f"fleet_request_latency_s_count{{{labels}}}"]
+            assert inf == count == expect
+
+    def test_label_values_escape_per_exposition_rules(self):
+        hostile = 'ten"ant\\wi\nth'
+        registry = shard_registry(0, hostile, [1e-3])
+        text = metrics_to_prometheus(registry)
+        assert 'tenant="ten\\"ant\\\\wi\\nth"' in text
+        # The escaped text still parses line-by-line (no raw newline
+        # leaked into the middle of a series).
+        parse_exposition(text)
+
+    def test_counter_families_gain_the_total_suffix(self):
+        registry = MetricsRegistry()
+        for name in FLEET_COUNTERS:
+            registry.counter(name)
+        text = metrics_to_prometheus(registry)
+        for name in FLEET_COUNTERS:
+            base = name.replace(".", "_")
+            assert f"# TYPE {base}_total counter" in text
+
+    def test_live_fleet_merged_registry_round_trips(self):
+        config = FleetConfig(
+            shards=2,
+            service=ServiceConfig(
+                slots=(
+                    TimeSlotConfig(
+                        "all_reduce", ("all_reduce",),
+                        time_window_s=500e-6, max_multiplexing=2,
+                    ),
+                ),
+                switch_time_s=20e-6,
+                queue_limit=64,
+                default_quota=TenantQuotaConfig(
+                    max_queued=8, max_per_slot=4
+                ),
+            ),
+        )
+
+        async def go():
+            async with FleetRouter(config, TINY) as fleet:
+                for _ in range(5):
+                    await fleet.submit(
+                        "a",
+                        CollectiveRequest(
+                            Collective.ALL_REDUCE, payload_bytes=8 * 8 * 8
+                        ),
+                    )
+                await fleet.drain()
+                return fleet.merged_metrics()
+
+        merged = asyncio.run(go())
+        series = parse_exposition(metrics_to_prometheus(merged))
+        assert series["fleet_submitted_total"] == 5.0
+        admitted = series["fleet_admitted_total"]
+        rerouted = series["fleet_rerouted_total"]
+        assert admitted + rerouted == 5.0
+        # The latency sketch saw exactly the admitted requests.
+        inf_total = sum(
+            value
+            for key, value in series.items()
+            if key.startswith("fleet_request_latency_s_bucket")
+            and 'le="+Inf"' in key
+        )
+        assert inf_total == 5.0
