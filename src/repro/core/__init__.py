@@ -38,6 +38,7 @@ from .program import PimInstruction, PimOp, generate_programs, run_programs
 from .schedule import (
     CommSchedule,
     Phase,
+    ScheduleChain,
     Shape,
     Step,
     Tier,
@@ -47,6 +48,7 @@ from .schedule import (
     alltoall_schedule,
     broadcast_schedule,
     build_schedule,
+    chain_timing,
     execute_schedule,
     gather_schedule,
     owned_range,
@@ -66,6 +68,7 @@ from .timeline import (
 from .timing import PimnetTimingModel, TierTimes
 from .validate import (
     validate_bounds,
+    validate_chain,
     validate_no_write_races,
     validate_contention_free,
     validate_schedule,
@@ -96,6 +99,7 @@ __all__ = [
     "run_programs",
     "CommSchedule",
     "Phase",
+    "ScheduleChain",
     "Shape",
     "Step",
     "Tier",
@@ -105,6 +109,7 @@ __all__ = [
     "alltoall_schedule",
     "broadcast_schedule",
     "build_schedule",
+    "chain_timing",
     "execute_schedule",
     "gather_schedule",
     "owned_range",
@@ -123,6 +128,7 @@ __all__ = [
     "PimnetTimingModel",
     "TierTimes",
     "validate_bounds",
+    "validate_chain",
     "validate_no_write_races",
     "validate_contention_free",
     "validate_schedule",

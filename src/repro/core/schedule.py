@@ -964,3 +964,61 @@ def _rank_step_time(
     )
     port_time = port_peak / chip_link.link_bandwidth_bytes_per_s
     return max(bus_time, port_time) + 2 * bus_link.hop_latency_s
+
+
+# --------------------------------------------------------------------------
+# Chained schedules (PIM-FW's per-round Broadcast + AllGather pair).
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScheduleChain:
+    """Back-to-back collectives compiled as one unit.
+
+    PIM-FW's blocked Floyd–Warshall issues, every pivot round, a
+    Broadcast of the pivot rows followed by an AllGather of the updated
+    pivot-column blocks.  The pair shares one barrier boundary: a chain
+    is an ordered tuple of :class:`CommSchedule` objects over the *same*
+    shape, executed strictly in sequence (each schedule's last phase is a
+    barrier for the next).  No transfer reordering happens across the
+    boundary, so validating each link and summing each link's per-tier
+    times is exact.
+    """
+
+    schedules: tuple[CommSchedule, ...]
+    name: str = "chain"
+
+    def __post_init__(self) -> None:
+        if not self.schedules:
+            raise ScheduleError("a schedule chain needs >= 1 schedule")
+        shapes = {s.shape for s in self.schedules}
+        if len(shapes) > 1:
+            raise ScheduleError(
+                f"chain {self.name!r} mixes shapes: {sorted(map(str, shapes))}"
+            )
+
+    @property
+    def shape(self) -> Shape:
+        return self.schedules[0].shape
+
+    @property
+    def patterns(self) -> tuple[Collective, ...]:
+        return tuple(s.pattern for s in self.schedules)
+
+    @property
+    def num_transfers(self) -> int:
+        return sum(s.num_transfers for s in self.schedules)
+
+
+def chain_timing(
+    chain: ScheduleChain, network: "object", itemsize: int = 8
+) -> dict[Tier, float]:
+    """Per-tier time of a chain: the sum of its links' times.
+
+    Exact because chain links are barrier-separated — a link's transfers
+    cannot overlap the next link's, so tier times add.
+    """
+    times: dict[Tier, float] = {t: 0.0 for t in Tier}
+    for schedule in chain.schedules:
+        for tier, t in schedule_timing(schedule, network, itemsize).items():
+            times[tier] += t
+    return times

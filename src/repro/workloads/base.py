@@ -75,6 +75,67 @@ class Workload(ABC):
     def description(self) -> str:
         return self.__doc__.strip().splitlines()[0] if self.__doc__ else ""
 
+    def expected_comm_volume(
+        self, machine: MachineConfig
+    ) -> dict[str, int] | None:
+        """Closed-form per-pattern payload bytes, or ``None``.
+
+        Workloads with an analytically known communication volume (the
+        PrIM tier, APSP) return ``{pattern label: total payload bytes}``
+        computed *from their parameters alone* — never by walking
+        :meth:`phases` — so the differential harness can hold the phase
+        list and the functional decomposition against an independent
+        closed form.
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class CommTraceEntry:
+    """One collective of a workload's trace, in phase order."""
+
+    phase: str
+    pattern: str          # Table VII label ("AR", "AG", "BC", ...)
+    payload_bytes: int    # per-DPU contribution of one repeat
+    repeat: int
+    root: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes * self.repeat
+
+
+def comm_trace(
+    workload: Workload, machine: MachineConfig
+) -> tuple[CommTraceEntry, ...]:
+    """The workload's per-phase collective trace on ``machine``."""
+    entries = []
+    for phase in workload.phases(machine):
+        if isinstance(phase, CommPhase):
+            request = phase.request
+            entries.append(
+                CommTraceEntry(
+                    phase=phase.name,
+                    pattern=PATTERN_LABEL[request.pattern],
+                    payload_bytes=request.payload_bytes,
+                    repeat=phase.repeat,
+                    root=request.root,
+                )
+            )
+    return tuple(entries)
+
+
+def collective_volume(
+    workload: Workload, machine: MachineConfig
+) -> dict[str, int]:
+    """Total payload bytes per pattern label, summed over the trace."""
+    volume: dict[str, int] = {}
+    for entry in comm_trace(workload, machine):
+        volume[entry.pattern] = (
+            volume.get(entry.pattern, 0) + entry.total_bytes
+        )
+    return volume
+
 
 @dataclass(frozen=True)
 class AppResult:

@@ -1,0 +1,350 @@
+"""Differential workload harness: three views of one workload, compared.
+
+Every workload in the PrIM/APSP tier exists in three coupled forms — a
+numpy functional reference, a distributed decomposition over a
+collective backend, and a declarative phase list.  This module runs the
+parametrized matrix (workload × machine shape × payload scale,
+mirroring :mod:`repro.conformance`) and holds the three views against
+each other:
+
+1. **Functional** — the distributed output equals the reference
+   bit-exactly on seeded inputs;
+2. **Trace** — the collectives the decomposition actually issued equal
+   the workload's declared :func:`~repro.workloads.base.comm_trace`,
+   request by request (pattern, payload bytes, root, order);
+3. **Conservation** — bytes moved per pattern match the workload's
+   closed-form ``expected_comm_volume``, computed from its parameters
+   alone.
+
+Used by ``tests/test_workloads_differential.py`` (the tier-1 matrix) and
+by the CI ``workloads`` job, which renders :func:`summarize_by_workload`
+as a pass/fail table.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..collectives.backend import registry
+from ..collectives.patterns import CollectiveRequest
+from ..config.presets import MachineConfig, small_test_system
+from ..config.system import PimSystemConfig
+from ..errors import WorkloadError
+from .apsp import (
+    ApspWorkload,
+    distributed_floyd_warshall,
+    floyd_warshall_reference,
+    rmat_weighted_dist,
+)
+from .base import PATTERN_LABEL, Workload, comm_trace, collective_volume
+from .prim import (
+    BinarySearchWorkload,
+    HistogramWorkload,
+    ScanWorkload,
+    SelectWorkload,
+    TsSimilarityWorkload,
+    binary_search_reference,
+    distributed_binary_search,
+    distributed_histogram,
+    distributed_scan,
+    distributed_select,
+    distributed_tss,
+    histogram_reference,
+    scan_reference,
+    select_reference,
+    tss_reference,
+)
+
+#: The differential matrix axes: ≥3 shapes × ≥3 payload scales.
+DEFAULT_SHAPES: tuple[tuple[int, int, int], ...] = (
+    (2, 2, 2),   # the tiny test machine
+    (4, 2, 2),   # bank-heavy
+    (2, 2, 4),   # rank-heavy (full-depth rank bus)
+)
+DEFAULT_SCALES: tuple[str, ...] = ("S", "M", "L")
+_SCALE_FACTOR = {"S": 1, "M": 4, "L": 16}
+
+#: Workload keys of the differential tier, in matrix order.
+DIFFERENTIAL_KEYS: tuple[str, ...] = (
+    "HST", "SCAN", "SEL", "BS", "TS", "APSP",
+)
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One cell of the matrix: workload × machine shape × payload."""
+
+    workload_key: str
+    shape: tuple[int, int, int]  # (banks/chip, chips/rank, ranks)
+    scale: str
+    backend_key: str = "P"
+
+    @property
+    def case_id(self) -> str:
+        banks, chips, ranks = self.shape
+        return (
+            f"{self.workload_key}-{banks}x{chips}x{ranks}-{self.scale}"
+            f"-{self.backend_key}"
+        )
+
+    @property
+    def seed(self) -> int:
+        # Deterministic per-cell seed (not ``hash()``, which is
+        # per-process randomized) so every cell sees distinct data.
+        return zlib.crc32(self.case_id.encode())
+
+    def machine(self) -> MachineConfig:
+        banks, chips, ranks = self.shape
+        return replace(
+            small_test_system(),
+            system=PimSystemConfig(
+                banks_per_chip=banks,
+                chips_per_rank=chips,
+                ranks_per_channel=ranks,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CaseReport:
+    """Outcome of one differential cell, check by check."""
+
+    case: DifferentialCase
+    functional_ok: bool
+    trace_ok: bool
+    volume_ok: bool
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.functional_ok and self.trace_ok and self.volume_ok
+
+
+class TraceRecordingBackend:
+    """Backend wrapper recording every collective request it executes.
+
+    Duck-typed against the two members the distributed decompositions
+    use (``num_dpus`` and ``run``), so it composes with any registered
+    backend.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.trace: list[CollectiveRequest] = []
+
+    @property
+    def num_dpus(self) -> int:
+        return self.inner.num_dpus
+
+    def run(self, request: CollectiveRequest, buffers=None):
+        self.trace.append(request)
+        return self.inner.run(request, buffers)
+
+
+def _run_hst(case, backend, rng):
+    n = backend.num_dpus
+    m = _SCALE_FACTOR[case.scale]
+    num_bins = 16 * m
+    items = 8 * n * m
+    values = rng.integers(0, num_bins, items).astype(np.int64)
+    got = distributed_histogram(values, num_bins, backend)
+    want = histogram_reference(values, num_bins)
+    workload = HistogramWorkload(items=items, num_bins=num_bins)
+    return workload, np.array_equal(got, want)
+
+
+def _run_scan(case, backend, rng):
+    n = backend.num_dpus
+    m = _SCALE_FACTOR[case.scale]
+    items = 8 * n * m
+    values = rng.integers(-1000, 1000, items).astype(np.int64)
+    got = distributed_scan(values, backend)
+    want = scan_reference(values)
+    return ScanWorkload(items=items), np.array_equal(got, want)
+
+
+def _run_sel(case, backend, rng):
+    n = backend.num_dpus
+    m = _SCALE_FACTOR[case.scale]
+    items = 8 * n * m
+    values = rng.integers(-1000, 1000, items).astype(np.int64)
+    got = distributed_select(values, 0, backend)
+    want = select_reference(values, 0)
+    return SelectWorkload(items=items), np.array_equal(got, want)
+
+
+def _run_bs(case, backend, rng):
+    n = backend.num_dpus
+    m = _SCALE_FACTOR[case.scale]
+    haystack_items = 8 * n * m
+    num_queries = 4 * m
+    haystack = np.sort(
+        rng.integers(0, 10_000, haystack_items).astype(np.int64)
+    )
+    queries = rng.integers(-10, 10_010, num_queries).astype(np.int64)
+    got = distributed_binary_search(haystack, queries, backend)
+    want = binary_search_reference(haystack, queries)
+    workload = BinarySearchWorkload(
+        haystack_items=haystack_items, num_queries=num_queries
+    )
+    return workload, np.array_equal(got, want)
+
+
+def _run_ts(case, backend, rng):
+    n = backend.num_dpus
+    m = _SCALE_FACTOR[case.scale]
+    query_items = 4 * m
+    positions = 8 * n * m
+    series = rng.integers(0, 100, positions + query_items - 1).astype(
+        np.int64
+    )
+    query = rng.integers(0, 100, query_items).astype(np.int64)
+    got = distributed_tss(series, query, backend)
+    want = tss_reference(series, query)
+    workload = TsSimilarityWorkload(
+        series_items=series.size, query_items=query_items
+    )
+    return workload, got == want
+
+
+def _run_apsp(case, backend, rng):
+    n = backend.num_dpus
+    m = _SCALE_FACTOR[case.scale]
+    # rows per DPU: 2 / 4 / 8; block 2 (4 at the largest scale).
+    rows_per = {1: 2, 4: 4, 16: 8}[m]
+    block = 2 if m < 16 else 4
+    num_vertices = rows_per * n
+    dist = rmat_weighted_dist(
+        num_vertices, 3 * num_vertices, seed=case.seed
+    )
+    got = distributed_floyd_warshall(dist, block, backend)
+    want = floyd_warshall_reference(dist)
+    workload = ApspWorkload(num_vertices=num_vertices, block=block)
+    return workload, np.array_equal(got, want)
+
+
+_RUNNERS = {
+    "HST": _run_hst,
+    "SCAN": _run_scan,
+    "SEL": _run_sel,
+    "BS": _run_bs,
+    "TS": _run_ts,
+    "APSP": _run_apsp,
+}
+
+
+def _expand_trace(
+    workload: Workload, machine: MachineConfig
+) -> list[tuple[str, int, int]]:
+    """The declared trace as a flat (pattern, bytes, root) sequence."""
+    flat = []
+    for entry in comm_trace(workload, machine):
+        flat.extend(
+            [(entry.pattern, entry.payload_bytes, entry.root)]
+            * entry.repeat
+        )
+    return flat
+
+
+def run_case(case: DifferentialCase) -> CaseReport:
+    """Run one matrix cell: functional, trace, and conservation checks."""
+    if case.workload_key not in _RUNNERS:
+        raise WorkloadError(
+            f"unknown differential workload {case.workload_key!r}; "
+            f"known: {sorted(_RUNNERS)}"
+        )
+    machine = case.machine()
+    backend = TraceRecordingBackend(
+        registry.create(case.backend_key, machine)
+    )
+    rng = np.random.default_rng(case.seed)
+
+    workload, functional_ok = _RUNNERS[case.workload_key](
+        case, backend, rng
+    )
+    details = []
+    if not functional_ok:
+        details.append("distributed output != functional reference")
+
+    declared = _expand_trace(workload, machine)
+    recorded = [
+        (PATTERN_LABEL[r.pattern], r.payload_bytes, r.root)
+        for r in backend.trace
+    ]
+    trace_ok = declared == recorded
+    if not trace_ok:
+        details.append(
+            f"trace mismatch: declared {len(declared)} collectives "
+            f"{declared[:3]}..., recorded {len(recorded)} "
+            f"{recorded[:3]}..."
+        )
+
+    expected = workload.expected_comm_volume(machine)
+    declared_volume = collective_volume(workload, machine)
+    recorded_volume: dict[str, int] = {}
+    for pattern, payload, _root in recorded:
+        recorded_volume[pattern] = (
+            recorded_volume.get(pattern, 0) + payload
+        )
+    volume_ok = expected == declared_volume == recorded_volume
+    if not volume_ok:
+        details.append(
+            f"volume mismatch: closed-form {expected}, "
+            f"declared {declared_volume}, recorded {recorded_volume}"
+        )
+
+    return CaseReport(
+        case=case,
+        functional_ok=functional_ok,
+        trace_ok=trace_ok,
+        volume_ok=volume_ok,
+        detail="; ".join(details),
+    )
+
+
+def enumerate_cases(
+    keys: tuple[str, ...] = DIFFERENTIAL_KEYS,
+    shapes: tuple[tuple[int, int, int], ...] = DEFAULT_SHAPES,
+    scales: tuple[str, ...] = DEFAULT_SCALES,
+    backend_key: str = "P",
+) -> list[DifferentialCase]:
+    """The full matrix, workload-major."""
+    return [
+        DifferentialCase(key, shape, scale, backend_key)
+        for key in keys
+        for shape in shapes
+        for scale in scales
+    ]
+
+
+def run_differential_matrix(
+    cases: list[DifferentialCase] | None = None,
+) -> list[CaseReport]:
+    """Run the whole matrix (or a subset) and return every report."""
+    return [run_case(case) for case in (cases or enumerate_cases())]
+
+
+def summarize_by_workload(
+    reports: list[CaseReport],
+) -> list[dict[str, object]]:
+    """Per-workload pass/fail rows for the CI step-summary table."""
+    rows = []
+    for key in DIFFERENTIAL_KEYS:
+        mine = [r for r in reports if r.case.workload_key == key]
+        if not mine:
+            continue
+        failed = [r for r in mine if not r.passed]
+        rows.append(
+            {
+                "workload": key,
+                "cases": len(mine),
+                "passed": len(mine) - len(failed),
+                "failed": len(failed),
+                "status": "ok" if not failed else "FAIL",
+                "detail": failed[0].detail if failed else "",
+            }
+        )
+    return rows

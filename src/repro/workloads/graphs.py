@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import WorkloadError
+from ..errors import ConfigurationError, WorkloadError
 
 
 @dataclass(frozen=True)
@@ -51,11 +51,18 @@ def rmat_graph(
     (as with real R-MAT usage).
     """
     if num_vertices < 2:
-        raise WorkloadError("graph needs at least two vertices")
+        raise ConfigurationError("graph needs at least two vertices")
     if num_edges < 1:
-        raise WorkloadError("graph needs at least one edge")
-    if not 0 < a + b + c < 1:
-        raise WorkloadError("RMAT probabilities must leave room for d")
+        raise ConfigurationError("graph needs at least one edge")
+    for name, p in (("a", a), ("b", b), ("c", c)):
+        # Check each probability individually: a negative one can hide
+        # inside a sum that still lands in (0, 1).
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError(
+                f"RMAT probability {name}={p} must be in (0, 1)"
+            )
+    if not a + b + c < 1:
+        raise ConfigurationError("RMAT probabilities must leave room for d")
     rng = np.random.default_rng(seed)
     scale = int(np.ceil(np.log2(num_vertices)))
     n_pow2 = 1 << scale

@@ -1,0 +1,582 @@
+"""PrIM-inspired workload tier (Gómez-Luna et al.'s UPMEM suite).
+
+The two PrIM benchmarking papers define the canonical UPMEM workload
+set; this module reproduces the five whose communication structure adds
+something the Table VII applications do not cover:
+
+* **Histogram (HST)** — local binning then a SUM-AllReduce of the bins;
+* **Inclusive scan (SCAN)** — local prefix sums plus an AllGather of the
+  per-DPU totals (the SSA formulation);
+* **Select (SEL)** — a predicated filter: local compaction, an AllGather
+  of the survivor counts, then a Gather of padded shards to the root;
+* **Binary search (BS)** — queries broadcast to every shard, per-shard
+  ``searchsorted`` counts SUM-AllReduced into global insertion indices;
+* **Time-series similarity search (TS)** — query broadcast, local SAD
+  minima combined by a MIN-AllReduce over (distance, position) keys.
+
+Each workload ships three coupled views that the differential harness
+(:mod:`repro.workloads.differential`) holds against each other:
+
+1. a numpy **functional reference** (``*_reference``),
+2. a **distributed decomposition** over a collective backend
+   (``distributed_*``) that must match the reference bit-exactly, and
+3. a **phase list** (the :class:`~repro.workloads.base.Workload`
+   subclass) whose collective trace must equal, request by request, the
+   traffic the distributed decomposition actually issues — with the
+   per-pattern byte totals matching the closed form in
+   ``expected_comm_volume``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.patterns import Collective, CollectiveRequest, ReduceOp
+from ..config.compute import Op
+from ..config.presets import MachineConfig
+from ..dpu.compute import OpCounts
+from ..errors import WorkloadError
+from .base import CommPhase, ComputePhase, Workload, WorkloadPhase
+
+_INT64 = np.dtype(np.int64)
+
+#: Position encoding width for the TS (min, argmin) AllReduce key:
+#: ``distance * 2**32 + position``.  Positions and distances must stay
+#: below 2**31 for the packed int64 ordering to equal lexicographic
+#: (distance, position) order.
+_TS_POS_BITS = 32
+
+
+def _shards(values: np.ndarray, n: int, what: str) -> list[np.ndarray]:
+    """Split a 1-D int64 array into n equal contiguous shards."""
+    values = np.asarray(values, dtype=_INT64).ravel()
+    if values.size == 0 or values.size % n != 0:
+        raise WorkloadError(
+            f"{what}: {values.size} elements not divisible by {n} DPUs"
+        )
+    return list(values.reshape(n, values.size // n))
+
+
+# --------------------------------------------------------------------------
+# Histogram (HST)
+# --------------------------------------------------------------------------
+
+def histogram_reference(values: np.ndarray, num_bins: int) -> np.ndarray:
+    """Integer histogram: counts of values in ``[0, num_bins)``."""
+    values = np.asarray(values, dtype=_INT64).ravel()
+    if num_bins < 1:
+        raise WorkloadError("histogram needs at least one bin")
+    if values.size and (values.min() < 0 or values.max() >= num_bins):
+        raise WorkloadError(
+            f"histogram values must lie in [0, {num_bins})"
+        )
+    return np.bincount(values, minlength=num_bins).astype(_INT64)
+
+
+def distributed_histogram(
+    values: np.ndarray, num_bins: int, backend
+) -> np.ndarray:
+    """PrIM HST: per-DPU local binning, then SUM-AllReduce of the bins."""
+    shards = _shards(values, backend.num_dpus, "histogram")
+    partials = [histogram_reference(shard, num_bins) for shard in shards]
+    request = CollectiveRequest(
+        Collective.ALL_REDUCE,
+        payload_bytes=num_bins * _INT64.itemsize,
+        dtype=_INT64,
+        op=ReduceOp.SUM,
+    )
+    result = backend.run(request, partials)
+    assert result.outputs is not None
+    return result.outputs[0]
+
+
+@dataclass(frozen=True)
+class HistogramWorkload(Workload):
+    """PrIM histogram: local binning + one AllReduce of the bin array."""
+
+    items: int = 1 << 20
+    num_bins: int = 256
+    #: DPU cycles per input item: MRAM-streamed load, bin index
+    #: computation, and a WRAM counter update.
+    cycles_per_item: float = 6.0
+
+    name = "HST"
+    comm = "AR"
+
+    def __post_init__(self) -> None:
+        if self.items < 1 or self.num_bins < 1:
+            raise WorkloadError("histogram size/bins must be positive")
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        n = machine.system.banks_per_channel
+        per_dpu = self.items / n
+        work = OpCounts(
+            counts={Op.INT_ADD: self.cycles_per_item * per_dpu},
+            mram_read_bytes=8.0 * per_dpu,
+        )
+        request = CollectiveRequest(
+            Collective.ALL_REDUCE,
+            payload_bytes=self.num_bins * _INT64.itemsize,
+            dtype=_INT64,
+            op=ReduceOp.SUM,
+        )
+        return [
+            ComputePhase(work, name="bin"),
+            CommPhase(request, name="bins-AR"),
+        ]
+
+    def expected_comm_volume(
+        self, machine: MachineConfig
+    ) -> dict[str, int]:
+        return {"AR": self.num_bins * _INT64.itemsize}
+
+
+# --------------------------------------------------------------------------
+# Inclusive scan (SCAN-SSA)
+# --------------------------------------------------------------------------
+
+def scan_reference(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum (int64, wrapping like the distributed one)."""
+    return np.cumsum(np.asarray(values, dtype=_INT64).ravel(), dtype=_INT64)
+
+
+def distributed_scan(values: np.ndarray, backend) -> np.ndarray:
+    """PrIM SCAN-SSA: local scans + an AllGather of the per-DPU totals.
+
+    Every DPU scans its shard, AllGathers the shard totals, sums the
+    totals of lower-ranked DPUs into its offset, and shifts its local
+    scan — the concatenated shards are the global inclusive scan.
+    """
+    n = backend.num_dpus
+    shards = _shards(values, n, "scan")
+    local_scans = [scan_reference(shard) for shard in shards]
+    totals = [scan[-1:].copy() for scan in local_scans]
+    request = CollectiveRequest(
+        Collective.ALL_GATHER, payload_bytes=_INT64.itemsize, dtype=_INT64
+    )
+    result = backend.run(request, totals)
+    assert result.outputs is not None
+    pieces = []
+    for d in range(n):
+        all_totals = result.outputs[d]
+        offset = all_totals[:d].sum(dtype=np.int64)
+        pieces.append(local_scans[d] + offset)
+    return np.concatenate(pieces)
+
+
+@dataclass(frozen=True)
+class ScanWorkload(Workload):
+    """PrIM inclusive scan: local prefix sums + a totals AllGather."""
+
+    items: int = 1 << 22
+    #: Cycles per item: two passes (local scan, offset add) over WRAM
+    #: tiles streamed from MRAM.
+    cycles_per_item: float = 4.0
+
+    name = "SCAN"
+    comm = "AG"
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise WorkloadError("scan size must be positive")
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        n = machine.system.banks_per_channel
+        per_dpu = self.items / n
+        work = OpCounts(
+            counts={Op.INT_ADD: self.cycles_per_item * per_dpu},
+            mram_read_bytes=8.0 * per_dpu,
+            mram_write_bytes=8.0 * per_dpu,
+        )
+        request = CollectiveRequest(
+            Collective.ALL_GATHER, payload_bytes=_INT64.itemsize,
+            dtype=_INT64,
+        )
+        return [
+            ComputePhase(work, name="local-scan"),
+            CommPhase(request, name="totals-AG"),
+        ]
+
+    def expected_comm_volume(
+        self, machine: MachineConfig
+    ) -> dict[str, int]:
+        return {"AG": _INT64.itemsize}
+
+
+# --------------------------------------------------------------------------
+# Select (SEL): predicated filter with stable compaction.
+# --------------------------------------------------------------------------
+
+#: Values strictly below the threshold survive the SEL predicate.
+SELECT_SENTINEL = np.int64(np.iinfo(np.int64).max)
+
+
+def select_reference(values: np.ndarray, threshold: int) -> np.ndarray:
+    """Stable filter: the values strictly below ``threshold``, in order."""
+    values = np.asarray(values, dtype=_INT64).ravel()
+    return values[values < threshold].copy()
+
+
+def distributed_select(
+    values: np.ndarray, threshold: int, backend
+) -> np.ndarray:
+    """PrIM SEL: local compaction, counts AllGather, padded Gather.
+
+    Each DPU filters its shard into a sentinel-padded buffer of shard
+    length, AllGathers the survivor counts (so every DPU — and the
+    harness — knows the output offsets), then the root Gathers the
+    padded shards and concatenates each DPU's valid prefix.
+    """
+    n = backend.num_dpus
+    shards = _shards(values, n, "select")
+    shard_len = shards[0].size
+    padded, counts = [], []
+    for shard in shards:
+        kept = shard[shard < threshold]
+        buf = np.full(shard_len, SELECT_SENTINEL, dtype=_INT64)
+        buf[: kept.size] = kept
+        padded.append(buf)
+        counts.append(np.array([kept.size], dtype=_INT64))
+
+    count_request = CollectiveRequest(
+        Collective.ALL_GATHER, payload_bytes=_INT64.itemsize, dtype=_INT64
+    )
+    count_result = backend.run(count_request, counts)
+    assert count_result.outputs is not None
+    all_counts = count_result.outputs[0]
+
+    gather_request = CollectiveRequest(
+        Collective.GATHER,
+        payload_bytes=shard_len * _INT64.itemsize,
+        dtype=_INT64,
+        root=0,
+    )
+    gather_result = backend.run(gather_request, padded)
+    assert gather_result.outputs is not None
+    gathered = gather_result.outputs[0]
+    return np.concatenate(
+        [
+            gathered[d * shard_len : d * shard_len + int(all_counts[d])]
+            for d in range(n)
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class SelectWorkload(Workload):
+    """PrIM select: local filter + counts AllGather + padded Gather."""
+
+    items: int = 1 << 22
+    #: Modeled fraction of survivors (drives MRAM write volume only;
+    #: the communication payload is the padded shard either way).
+    selectivity: float = 0.5
+    cycles_per_item: float = 5.0
+
+    name = "SEL"
+    comm = "G"
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise WorkloadError("select size must be positive")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise WorkloadError("selectivity must be in [0, 1]")
+
+    def _shard_len(self, machine: MachineConfig) -> int:
+        n = machine.system.banks_per_channel
+        if self.items % n != 0:
+            raise WorkloadError(
+                f"select: {self.items} items not divisible by {n} DPUs"
+            )
+        return self.items // n
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        shard_len = self._shard_len(machine)
+        work = OpCounts(
+            counts={Op.INT_ADD: self.cycles_per_item * shard_len},
+            mram_read_bytes=8.0 * shard_len,
+            mram_write_bytes=8.0 * shard_len * self.selectivity,
+        )
+        count_request = CollectiveRequest(
+            Collective.ALL_GATHER, payload_bytes=_INT64.itemsize,
+            dtype=_INT64,
+        )
+        gather_request = CollectiveRequest(
+            Collective.GATHER,
+            payload_bytes=shard_len * _INT64.itemsize,
+            dtype=_INT64,
+            root=0,
+        )
+        return [
+            ComputePhase(work, name="filter"),
+            CommPhase(count_request, name="counts-AG"),
+            CommPhase(gather_request, name="shards-G"),
+        ]
+
+    def expected_comm_volume(
+        self, machine: MachineConfig
+    ) -> dict[str, int]:
+        return {
+            "AG": _INT64.itemsize,
+            "G": self._shard_len(machine) * _INT64.itemsize,
+        }
+
+
+# --------------------------------------------------------------------------
+# Binary search (BS)
+# --------------------------------------------------------------------------
+
+def binary_search_reference(
+    haystack: np.ndarray, queries: np.ndarray
+) -> np.ndarray:
+    """Left insertion index of each query in the sorted haystack."""
+    haystack = np.asarray(haystack, dtype=_INT64).ravel()
+    queries = np.asarray(queries, dtype=_INT64).ravel()
+    if haystack.size and np.any(np.diff(haystack) < 0):
+        raise WorkloadError("binary search haystack must be sorted")
+    return np.searchsorted(haystack, queries, side="left").astype(_INT64)
+
+
+def distributed_binary_search(
+    haystack: np.ndarray, queries: np.ndarray, backend
+) -> np.ndarray:
+    """PrIM BS: Broadcast the queries, SUM-AllReduce per-shard counts.
+
+    The sorted haystack is partitioned contiguously; each DPU counts the
+    elements of its shard strictly left of every query
+    (``searchsorted``), and because the shards are globally sorted, the
+    SUM of the per-shard counts *is* the global insertion index.
+    """
+    queries = np.asarray(queries, dtype=_INT64).ravel()
+    if queries.size == 0:
+        raise WorkloadError("binary search needs at least one query")
+    shards = _shards(haystack, backend.num_dpus, "binary search")
+    for shard in shards:
+        if shard.size and np.any(np.diff(shard) < 0):
+            raise WorkloadError("binary search haystack must be sorted")
+
+    bcast_request = CollectiveRequest(
+        Collective.BROADCAST,
+        payload_bytes=queries.size * _INT64.itemsize,
+        dtype=_INT64,
+        root=0,
+    )
+    bcast_buffers = [
+        queries if d == 0 else np.zeros(queries.size, dtype=_INT64)
+        for d in range(backend.num_dpus)
+    ]
+    bcast = backend.run(bcast_request, bcast_buffers)
+    assert bcast.outputs is not None
+
+    partial_counts = [
+        np.searchsorted(shard, bcast.outputs[d], side="left").astype(_INT64)
+        for d, shard in enumerate(shards)
+    ]
+    reduce_request = CollectiveRequest(
+        Collective.ALL_REDUCE,
+        payload_bytes=queries.size * _INT64.itemsize,
+        dtype=_INT64,
+        op=ReduceOp.SUM,
+    )
+    result = backend.run(reduce_request, partial_counts)
+    assert result.outputs is not None
+    return result.outputs[0]
+
+
+@dataclass(frozen=True)
+class BinarySearchWorkload(Workload):
+    """PrIM binary search: query Broadcast + counts AllReduce."""
+
+    haystack_items: int = 1 << 24
+    num_queries: int = 4096
+    #: Cycles per query per shard: log2(shard) MRAM-resident probes.
+    cycles_per_probe: float = 24.0
+
+    name = "BS"
+    comm = "BC"
+
+    def __post_init__(self) -> None:
+        if self.haystack_items < 1 or self.num_queries < 1:
+            raise WorkloadError("binary search sizes must be positive")
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        n = machine.system.banks_per_channel
+        shard = max(2.0, self.haystack_items / n)
+        probes = self.num_queries * float(np.ceil(np.log2(shard)))
+        work = OpCounts(
+            counts={Op.INT_ADD: self.cycles_per_probe * probes},
+            mram_read_bytes=8.0 * probes,
+        )
+        query_bytes = self.num_queries * _INT64.itemsize
+        bcast = CollectiveRequest(
+            Collective.BROADCAST, payload_bytes=query_bytes,
+            dtype=_INT64, root=0,
+        )
+        combine = CollectiveRequest(
+            Collective.ALL_REDUCE, payload_bytes=query_bytes,
+            dtype=_INT64, op=ReduceOp.SUM,
+        )
+        return [
+            CommPhase(bcast, name="queries-BC"),
+            ComputePhase(work, name="probe"),
+            CommPhase(combine, name="counts-AR"),
+        ]
+
+    def expected_comm_volume(
+        self, machine: MachineConfig
+    ) -> dict[str, int]:
+        query_bytes = self.num_queries * _INT64.itemsize
+        return {"BC": query_bytes, "AR": query_bytes}
+
+
+# --------------------------------------------------------------------------
+# Time-series similarity search (TS)
+# --------------------------------------------------------------------------
+
+def tss_reference(
+    series: np.ndarray, query: np.ndarray
+) -> tuple[int, int]:
+    """(best position, best SAD) of ``query`` against ``series``.
+
+    SAD = sum of absolute differences; ties resolve to the smallest
+    position, matching the packed-key MIN-AllReduce of the distributed
+    version.
+    """
+    series = np.asarray(series, dtype=_INT64).ravel()
+    query = np.asarray(query, dtype=_INT64).ravel()
+    if query.size < 1 or series.size < query.size:
+        raise WorkloadError("series must be at least as long as the query")
+    positions = series.size - query.size + 1
+    windows = np.lib.stride_tricks.sliding_window_view(series, query.size)
+    distances = np.abs(windows - query).sum(axis=1)
+    best = int(np.argmin(distances))
+    return best, int(distances[best])
+
+
+def _ts_pack(distance: np.int64, position: int) -> np.int64:
+    return np.int64(int(distance) * (1 << _TS_POS_BITS) + position)
+
+
+def distributed_tss(
+    series: np.ndarray, query: np.ndarray, backend
+) -> tuple[int, int]:
+    """PrIM TS: Broadcast the query, MIN-AllReduce packed local minima.
+
+    Alignment positions are partitioned across DPUs; each DPU scans its
+    overlapping series slice (the PrIM host replicates the m-1 boundary
+    elements at transfer time, so no halo collective is needed), packs
+    its local (SAD, position) minimum into one int64 key, and a
+    MIN-AllReduce yields the global minimum with smallest-position ties.
+    """
+    series = np.asarray(series, dtype=_INT64).ravel()
+    query = np.asarray(query, dtype=_INT64).ravel()
+    if query.size < 1 or series.size < query.size:
+        raise WorkloadError("series must be at least as long as the query")
+    n = backend.num_dpus
+    positions = series.size - query.size + 1
+    if positions % n != 0:
+        raise WorkloadError(
+            f"time series: {positions} positions not divisible by {n} DPUs"
+        )
+    per_dpu = positions // n
+
+    bcast_request = CollectiveRequest(
+        Collective.BROADCAST,
+        payload_bytes=query.size * _INT64.itemsize,
+        dtype=_INT64,
+        root=0,
+    )
+    bcast_buffers = [
+        query if d == 0 else np.zeros(query.size, dtype=_INT64)
+        for d in range(n)
+    ]
+    bcast = backend.run(bcast_request, bcast_buffers)
+    assert bcast.outputs is not None
+
+    keys = []
+    for d in range(n):
+        lo = d * per_dpu
+        local_slice = series[lo : lo + per_dpu + query.size - 1]
+        windows = np.lib.stride_tricks.sliding_window_view(
+            local_slice, query.size
+        )
+        distances = np.abs(windows - bcast.outputs[d]).sum(axis=1)
+        local_best = int(np.argmin(distances))
+        keys.append(
+            np.array(
+                [_ts_pack(distances[local_best], lo + local_best)],
+                dtype=_INT64,
+            )
+        )
+    reduce_request = CollectiveRequest(
+        Collective.ALL_REDUCE, payload_bytes=_INT64.itemsize,
+        dtype=_INT64, op=ReduceOp.MIN,
+    )
+    result = backend.run(reduce_request, keys)
+    assert result.outputs is not None
+    packed = int(result.outputs[0][0])
+    return packed % (1 << _TS_POS_BITS), packed >> _TS_POS_BITS
+
+
+@dataclass(frozen=True)
+class TsSimilarityWorkload(Workload):
+    """PrIM time series: query Broadcast + packed-minimum AllReduce."""
+
+    series_items: int = 1 << 22
+    query_items: int = 256
+    #: Cycles per (position, query element) pair: load, subtract,
+    #: absolute value, accumulate.
+    cycles_per_element: float = 4.0
+
+    name = "TS"
+    comm = "BC"
+
+    def __post_init__(self) -> None:
+        if self.series_items < 1 or self.query_items < 1:
+            raise WorkloadError("time-series sizes must be positive")
+        if self.series_items < self.query_items:
+            raise WorkloadError("series must be at least query length")
+
+    def phases(self, machine: MachineConfig) -> list[WorkloadPhase]:
+        n = machine.system.banks_per_channel
+        positions_per_dpu = self.series_items / n
+        pairs = positions_per_dpu * self.query_items
+        work = OpCounts(
+            counts={Op.INT_ADD: self.cycles_per_element * pairs},
+            mram_read_bytes=8.0 * (positions_per_dpu + self.query_items),
+        )
+        bcast = CollectiveRequest(
+            Collective.BROADCAST,
+            payload_bytes=self.query_items * _INT64.itemsize,
+            dtype=_INT64,
+            root=0,
+        )
+        combine = CollectiveRequest(
+            Collective.ALL_REDUCE, payload_bytes=_INT64.itemsize,
+            dtype=_INT64, op=ReduceOp.MIN,
+        )
+        return [
+            CommPhase(bcast, name="query-BC"),
+            ComputePhase(work, name="sad-scan"),
+            CommPhase(combine, name="min-AR"),
+        ]
+
+    def expected_comm_volume(
+        self, machine: MachineConfig
+    ) -> dict[str, int]:
+        return {
+            "BC": self.query_items * _INT64.itemsize,
+            "AR": _INT64.itemsize,
+        }
+
+
+def prim_workloads() -> dict[str, Workload]:
+    """The PrIM tier with its default (paper-scale) configurations."""
+    return {
+        "HST": HistogramWorkload(),
+        "SCAN": ScanWorkload(),
+        "SEL": SelectWorkload(),
+        "BS": BinarySearchWorkload(),
+        "TS": TsSimilarityWorkload(),
+    }

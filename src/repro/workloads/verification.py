@@ -17,6 +17,11 @@ import numpy as np
 
 from ..collectives.backend import CollectiveBackend, registry
 from ..config.presets import MachineConfig, small_test_system
+from .apsp import (
+    distributed_floyd_warshall,
+    floyd_warshall_reference,
+    rmat_weighted_dist,
+)
 from .bfs import verify_distributed_bfs
 from .cc import verify_distributed_cc
 from .embedding import (
@@ -28,6 +33,18 @@ from .graphs import rmat_graph
 from .join import distributed_hash_join, join_reference
 from .mlp import distributed_mlp, mlp_reference
 from .ntt import MODULUS, distributed_ntt_2d, ntt_reference
+from .prim import (
+    binary_search_reference,
+    distributed_binary_search,
+    distributed_histogram,
+    distributed_scan,
+    distributed_select,
+    distributed_tss,
+    histogram_reference,
+    scan_reference,
+    select_reference,
+    tss_reference,
+)
 from .spmv import distributed_spmv, random_coo_matrix, spmv_reference
 
 
@@ -112,6 +129,70 @@ def _verify_cc(backend: CollectiveBackend, rng) -> bool:
     return verify_distributed_cc(rmat_graph(96, 300, seed=24), backend)
 
 
+def _verify_histogram(backend: CollectiveBackend, rng) -> bool:
+    n = backend.num_dpus
+    values = rng.integers(0, 64, 16 * n).astype(np.int64)
+    return bool(
+        np.array_equal(
+            distributed_histogram(values, 64, backend),
+            histogram_reference(values, 64),
+        )
+    )
+
+
+def _verify_scan(backend: CollectiveBackend, rng) -> bool:
+    n = backend.num_dpus
+    values = rng.integers(-500, 500, 16 * n).astype(np.int64)
+    return bool(
+        np.array_equal(
+            distributed_scan(values, backend), scan_reference(values)
+        )
+    )
+
+
+def _verify_select(backend: CollectiveBackend, rng) -> bool:
+    n = backend.num_dpus
+    values = rng.integers(-100, 100, 16 * n).astype(np.int64)
+    return bool(
+        np.array_equal(
+            distributed_select(values, 0, backend),
+            select_reference(values, 0),
+        )
+    )
+
+
+def _verify_binary_search(backend: CollectiveBackend, rng) -> bool:
+    n = backend.num_dpus
+    haystack = np.sort(rng.integers(0, 5000, 16 * n)).astype(np.int64)
+    queries = rng.integers(-50, 5050, 32).astype(np.int64)
+    return bool(
+        np.array_equal(
+            distributed_binary_search(haystack, queries, backend),
+            binary_search_reference(haystack, queries),
+        )
+    )
+
+
+def _verify_tss(backend: CollectiveBackend, rng) -> bool:
+    n = backend.num_dpus
+    query = rng.integers(0, 40, 6).astype(np.int64)
+    series = rng.integers(0, 40, 8 * n + query.size - 1).astype(np.int64)
+    return distributed_tss(series, query, backend) == tss_reference(
+        series, query
+    )
+
+
+def _verify_apsp(backend: CollectiveBackend, rng) -> bool:
+    n = backend.num_dpus
+    dist = rmat_weighted_dist(4 * n, 12 * n, seed=25)
+    return bool(
+        np.array_equal(
+            distributed_floyd_warshall(dist, 2, backend),
+            floyd_warshall_reference(dist),
+        )
+    )
+
+
 VERIFIERS: dict[str, Callable[[CollectiveBackend, object], bool]] = {
     "GEMV": _verify_gemv,
     "MLP": _verify_mlp,
@@ -121,6 +202,12 @@ VERIFIERS: dict[str, Callable[[CollectiveBackend, object], bool]] = {
     "Join": _verify_join,
     "BFS": _verify_bfs,
     "CC": _verify_cc,
+    "HST": _verify_histogram,
+    "SCAN": _verify_scan,
+    "SEL": _verify_select,
+    "BS": _verify_binary_search,
+    "TS": _verify_tss,
+    "APSP": _verify_apsp,
 }
 
 

@@ -29,7 +29,7 @@ class TestRegistry:
             "hw_overhead", "ablations", "size_sweep",
             "characterization", "noc_load_latency",
             "fault_sweep", "straggler_tail", "tenant_service_load",
-            "fleet_resilience",
+            "fleet_resilience", "prim_suite",
         }
         assert set(EXPERIMENTS) == expected
 

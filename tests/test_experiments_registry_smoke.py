@@ -16,9 +16,23 @@ ALL_IDS = REGISTRY.ids()
 
 
 def test_registry_is_populated():
-    # The repo ships 19 experiment drivers; the floor guards against an
+    # The repo ships 20 experiment drivers; the floor guards against an
     # import-order regression silently emptying the registry.
-    assert len(ALL_IDS) >= 19
+    assert len(ALL_IDS) >= 20
+
+
+def test_prim_suite_registered():
+    """The PrIM tier experiment sweeps its six workloads plus the
+    served-mix point, in tier order."""
+    from repro.experiments.prim_suite import WORKLOAD_KEYS
+
+    spec = REGISTRY.get("prim_suite")
+    points = spec.points(MACHINE)
+    assert len(points) == len(WORKLOAD_KEYS) + 1
+    assert [p.params.get("workload") for p in points[:-1]] == list(
+        WORKLOAD_KEYS
+    )
+    assert points[-1].params == {"part": "service"}
 
 
 @pytest.mark.parametrize("experiment_id", ALL_IDS)

@@ -1,0 +1,101 @@
+"""The differential workload matrix: distributed == reference, always.
+
+Every cell is one (workload, machine shape, payload scale) point run by
+:func:`repro.workloads.run_case`, which asserts three invariants at
+once: the distributed result is bit-exact against the numpy reference,
+the recorded collective trace matches the workload's declared phase
+list, and both match the closed-form ``expected_comm_volume``.
+
+The full PrIM matrix runs in the default suite; APSP's larger scales
+are cycle-hungry (dense min-plus) and carry the ``slow`` marker.
+"""
+
+import pytest
+
+from repro.workloads import (
+    DIFFERENTIAL_KEYS,
+    DifferentialCase,
+    TraceRecordingBackend,
+    enumerate_cases,
+    run_case,
+    run_differential_matrix,
+    summarize_by_workload,
+)
+from repro.workloads.differential import DEFAULT_SCALES, DEFAULT_SHAPES
+
+pytestmark = pytest.mark.workloads
+
+
+def _case_params():
+    params = []
+    for case in enumerate_cases():
+        marks = []
+        if case.workload_key == "APSP" and case.scale != "S":
+            marks.append(pytest.mark.slow)
+        params.append(
+            pytest.param(case, id=case.case_id, marks=tuple(marks))
+        )
+    return params
+
+
+@pytest.mark.parametrize("case", _case_params())
+def test_matrix_cell(case):
+    report = run_case(case)
+    assert report.functional_ok, report.detail
+    assert report.trace_ok, report.detail
+    assert report.volume_ok, report.detail
+    assert report.passed and report.detail == ""
+
+
+class TestEnumeration:
+    def test_full_matrix_shape(self):
+        cases = enumerate_cases()
+        assert len(cases) == (
+            len(DIFFERENTIAL_KEYS) * len(DEFAULT_SHAPES) * len(DEFAULT_SCALES)
+        )
+        assert len({c.case_id for c in cases}) == len(cases)
+
+    def test_seed_is_stable_across_processes(self):
+        case = DifferentialCase("APSP", (2, 2, 2), "S")
+        # crc32 of the case id — not hash(), which is per-process salted.
+        assert case.seed == DifferentialCase("APSP", (2, 2, 2), "S").seed
+        assert case.case_id == "APSP-2x2x2-S-P"
+
+    def test_recording_backend_counts_dpus(self):
+        from repro.collectives import registry
+
+        case = DifferentialCase("HST", (4, 2, 2), "S")
+        backend = TraceRecordingBackend(registry.create("P", case.machine()))
+        assert backend.num_dpus == 16
+        assert backend.trace == []
+
+
+class TestSummary:
+    def test_per_workload_rows(self):
+        cases = enumerate_cases(
+            keys=("HST", "SCAN"), shapes=((2, 2, 2),), scales=("S",)
+        )
+        reports = run_differential_matrix(cases)
+        rows = summarize_by_workload(reports)
+        assert [r["workload"] for r in rows] == ["HST", "SCAN"]
+        for row in rows:
+            assert row["cases"] == 1
+            assert row["passed"] == 1
+            assert row["failed"] == 0
+            assert row["status"] == "ok"
+
+    def test_failures_surface_detail(self):
+        cases = enumerate_cases(
+            keys=("SCAN",), shapes=((2, 2, 2),), scales=("S",)
+        )
+        reports = list(run_differential_matrix(cases))
+        broken = reports[0].__class__(
+            case=reports[0].case,
+            functional_ok=False,
+            trace_ok=True,
+            volume_ok=True,
+            detail="mismatch at shard 3",
+        )
+        rows = summarize_by_workload([broken])
+        assert rows[0]["status"] == "FAIL"
+        assert "mismatch at shard 3" in rows[0]["detail"]

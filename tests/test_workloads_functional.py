@@ -8,8 +8,10 @@ reference exactly — this is what makes the timing models trustworthy
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.collectives import registry
+from repro.config import small_test_system
 from repro.workloads import (
     distributed_bfs,
     distributed_connected_components,
@@ -175,3 +177,90 @@ class TestGraphWorkloads:
             distributed_connected_components(graph, backend),
             connected_components_reference(graph),
         )
+
+
+def _permuted_graph(graph, perm):
+    """The same graph with vertices relabeled by ``perm``."""
+    from repro.workloads import Graph
+
+    v = graph.num_vertices
+    heads = perm[
+        np.repeat(np.arange(v, dtype=np.int64), np.diff(graph.indptr))
+    ]
+    tails = perm[graph.indices]
+    order = np.lexsort((tails, heads))
+    heads, tails = heads[order], tails[order]
+    indptr = np.zeros(v + 1, dtype=np.int64)
+    np.add.at(indptr, heads + 1, 1)
+    return Graph(v, np.cumsum(indptr), tails)
+
+
+class TestWorkloadProperties:
+    """Hypothesis property suite for the pre-existing workload tier."""
+
+    @given(
+        num_vertices=st.integers(min_value=8, max_value=48),
+        edge_factor=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_level_monotonicity(self, num_vertices, edge_factor, seed):
+        """Depths step by at most one across any edge, and every
+        positive-depth vertex has a parent exactly one level up."""
+        backend = registry.create("P", small_test_system())
+        graph = rmat_graph(num_vertices, edge_factor * num_vertices, seed=seed)
+        depth = distributed_bfs(graph, 0, backend)
+        assert depth[0] == 0
+        for v in range(num_vertices):
+            if depth[v] < 0:
+                continue
+            neighbor_depths = depth[graph.neighbors(v)]
+            reached = neighbor_depths[neighbor_depths >= 0]
+            if reached.size:
+                assert np.all(np.abs(reached - depth[v]) <= 1)
+            if depth[v] > 0:
+                assert (neighbor_depths == depth[v] - 1).any()
+
+    @given(
+        num_vertices=st.integers(min_value=8, max_value=40),
+        edge_factor=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cc_partition_invariant_under_relabeling(
+        self, num_vertices, edge_factor, seed
+    ):
+        """Relabeling vertices permutes the labels but must induce the
+        identical component partition."""
+        backend = registry.create("P", small_test_system())
+        graph = rmat_graph(num_vertices, edge_factor * num_vertices, seed=seed)
+        labels = distributed_connected_components(graph, backend)
+
+        perm = np.random.default_rng(seed + 7).permutation(
+            num_vertices
+        ).astype(np.int64)
+        relabeled = distributed_connected_components(
+            _permuted_graph(graph, perm), backend
+        )
+        # Pull the permuted labels back into the original vertex order.
+        pulled = relabeled[perm]
+        same_before = labels[:, None] == labels[None, :]
+        same_after = pulled[:, None] == pulled[None, :]
+        assert np.array_equal(same_before, same_after)
+
+    @given(
+        rows=st.integers(min_value=8, max_value=64),
+        batch=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_embedding_lookup_round_trip(self, rows, batch, seed):
+        """Pooling width 1 makes the lookup a pure gather: the pooled
+        output must round-trip the table rows bit-exactly."""
+        backend = registry.create("P", small_test_system())
+        rng = np.random.default_rng(seed)
+        table = rng.integers(-100, 100, (rows, 8)).astype(np.int64)
+        indices = rng.integers(0, rows, (batch, 1))
+        got = distributed_embedding_lookup(table, indices, backend)
+        assert np.array_equal(got, table[indices[:, 0]])
+        assert np.array_equal(got, embedding_reference(table, indices))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.workloads import (
     bfs_levels,
     bfs_reference,
@@ -61,10 +61,24 @@ class TestRmatGenerator:
         assert degrees.max() > 5 * max(1.0, degrees.mean())
 
     def test_validation(self):
-        with pytest.raises(WorkloadError):
+        with pytest.raises(ConfigurationError):
             rmat_graph(1, 10)
-        with pytest.raises(WorkloadError):
+        with pytest.raises(ConfigurationError):
             rmat_graph(10, 0)
+
+    def test_degenerate_probabilities_rejected_eagerly(self):
+        """Individually-invalid a/b/c must fail even when the sum looks
+        fine (regression: -0.1 + 0.6 + 0.3 sums into (0, 1))."""
+        with pytest.raises(ConfigurationError):
+            rmat_graph(100, 200, a=-0.1, b=0.6, c=0.3)
+        with pytest.raises(ConfigurationError):
+            rmat_graph(100, 200, a=0.5, b=-0.2, c=0.4)
+        with pytest.raises(ConfigurationError):
+            rmat_graph(100, 200, a=0.3, b=0.3, c=1.2)
+        with pytest.raises(ConfigurationError):
+            rmat_graph(100, 200, a=0.0, b=0.4, c=0.4)
+        with pytest.raises(ConfigurationError):
+            rmat_graph(100, 200, a=0.5, b=0.3, c=0.2)  # no room for d
 
 
 class TestBfsReference:

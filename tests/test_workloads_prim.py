@@ -1,0 +1,285 @@
+"""PrIM workload tier: references, decompositions, and properties.
+
+The per-backend bit-exactness matrix lives in
+``test_workloads_differential.py``; this file covers the functional
+references themselves, the decomposition error paths, and the
+hypothesis property suite (scan prefix property, histogram mass
+conservation, select stability, binary search vs searchsorted, TS
+brute force).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import registry
+from repro.config import small_test_system
+from repro.errors import WorkloadError
+from repro.workloads import (
+    BinarySearchWorkload,
+    HistogramWorkload,
+    ScanWorkload,
+    SelectWorkload,
+    TsSimilarityWorkload,
+    binary_search_reference,
+    comm_trace,
+    distributed_binary_search,
+    distributed_histogram,
+    distributed_scan,
+    distributed_select,
+    distributed_tss,
+    histogram_reference,
+    prim_workloads,
+    scan_reference,
+    select_reference,
+    tss_reference,
+)
+
+pytestmark = pytest.mark.workloads
+
+
+@pytest.fixture(params=["P", "B", "S"])
+def backend(request, tiny_machine):
+    return registry.create(request.param, tiny_machine)
+
+
+@pytest.fixture
+def pim(tiny_machine):
+    return registry.create("P", tiny_machine)
+
+
+class TestHistogram:
+    def test_matches_bincount(self, backend, rng):
+        values = rng.integers(0, 32, 8 * backend.num_dpus).astype(np.int64)
+        got = distributed_histogram(values, 32, backend)
+        assert np.array_equal(got, histogram_reference(values, 32))
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            histogram_reference(np.array([0, 7]), 4)
+        with pytest.raises(WorkloadError):
+            histogram_reference(np.array([-1]), 4)
+
+    def test_shard_divisibility_checked(self, backend):
+        values = np.zeros(backend.num_dpus + 1, dtype=np.int64)
+        with pytest.raises(WorkloadError):
+            distributed_histogram(values, 4, backend)
+
+    def test_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            HistogramWorkload(items=0)
+        with pytest.raises(WorkloadError):
+            HistogramWorkload(num_bins=0)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=15),
+            min_size=8,
+            max_size=64,
+        ).filter(lambda v: len(v) % 8 == 0)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conservation(self, values):
+        """Histogram bins sum to the input count; every input counted."""
+        arr = np.array(values, dtype=np.int64)
+        hist = histogram_reference(arr, 16)
+        assert hist.sum() == arr.size
+        assert np.all(hist >= 0)
+
+
+class TestScan:
+    def test_matches_cumsum(self, backend, rng):
+        values = rng.integers(-50, 50, 8 * backend.num_dpus).astype(
+            np.int64
+        )
+        got = distributed_scan(values, backend)
+        assert np.array_equal(got, scan_reference(values))
+
+    def test_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            ScanWorkload(items=0)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=8,
+            max_size=64,
+        ).filter(lambda v: len(v) % 8 == 0)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_property(self, values):
+        """scan[i] - scan[i-1] == values[i] and scan[0] == values[0]."""
+        backend = registry.create("P", small_test_system())
+        arr = np.array(values, dtype=np.int64)
+        scan = distributed_scan(arr, backend)
+        assert scan[0] == arr[0]
+        assert np.array_equal(np.diff(scan), arr[1:])
+
+
+class TestSelect:
+    def test_matches_filter(self, backend, rng):
+        values = rng.integers(-100, 100, 8 * backend.num_dpus).astype(
+            np.int64
+        )
+        got = distributed_select(values, 0, backend)
+        assert np.array_equal(got, select_reference(values, 0))
+
+    def test_none_selected(self, backend):
+        values = np.arange(8 * backend.num_dpus, dtype=np.int64)
+        assert distributed_select(values, -1, backend).size == 0
+
+    def test_all_selected(self, backend):
+        values = np.arange(8 * backend.num_dpus, dtype=np.int64)
+        got = distributed_select(values, 10**9, backend)
+        assert np.array_equal(got, values)
+
+    def test_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            SelectWorkload(items=0)
+        with pytest.raises(WorkloadError):
+            SelectWorkload(selectivity=1.5)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=8,
+            max_size=64,
+        ).filter(lambda v: len(v) % 8 == 0),
+        threshold=st.integers(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stable_and_complete(self, values, threshold):
+        """Output preserves input order and contains exactly the hits."""
+        backend = registry.create("P", small_test_system())
+        arr = np.array(values, dtype=np.int64)
+        got = distributed_select(arr, threshold, backend)
+        assert np.array_equal(got, arr[arr < threshold])
+
+
+class TestBinarySearch:
+    def test_matches_searchsorted(self, backend, rng):
+        haystack = np.sort(
+            rng.integers(0, 1000, 8 * backend.num_dpus)
+        ).astype(np.int64)
+        queries = rng.integers(-5, 1005, 16).astype(np.int64)
+        got = distributed_binary_search(haystack, queries, backend)
+        assert np.array_equal(
+            got, binary_search_reference(haystack, queries)
+        )
+
+    def test_unsorted_haystack_rejected(self, backend):
+        haystack = np.array([3, 1, 2, 0] * 2 * backend.num_dpus)
+        with pytest.raises(WorkloadError):
+            distributed_binary_search(
+                haystack, np.array([1], dtype=np.int64), backend
+            )
+
+    def test_needs_a_query(self, backend):
+        haystack = np.zeros(8 * backend.num_dpus, dtype=np.int64)
+        with pytest.raises(WorkloadError):
+            distributed_binary_search(
+                haystack, np.array([], dtype=np.int64), backend
+            )
+
+    def test_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            BinarySearchWorkload(haystack_items=0)
+        with pytest.raises(WorkloadError):
+            BinarySearchWorkload(num_queries=0)
+
+    @given(
+        haystack=st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=8,
+            max_size=64,
+        ).filter(lambda v: len(v) % 8 == 0),
+        queries=st.lists(
+            st.integers(min_value=-10, max_value=110),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_insertion_index_property(self, haystack, queries):
+        """Result i satisfies hay[:i] < q <= hay[i:] (left insertion)."""
+        backend = registry.create("P", small_test_system())
+        hay = np.sort(np.array(haystack, dtype=np.int64))
+        qs = np.array(queries, dtype=np.int64)
+        got = distributed_binary_search(hay, qs, backend)
+        for q, i in zip(qs, got):
+            assert np.all(hay[:i] < q)
+            assert np.all(hay[i:] >= q)
+
+
+class TestTsSimilarity:
+    def test_matches_reference(self, backend, rng):
+        n = backend.num_dpus
+        query = rng.integers(0, 50, 4).astype(np.int64)
+        series = rng.integers(0, 50, 8 * n + query.size - 1).astype(
+            np.int64
+        )
+        assert distributed_tss(series, query, backend) == tss_reference(
+            series, query
+        )
+
+    def test_exact_match_found(self, pim):
+        n = pim.num_dpus
+        query = np.array([7, 8, 9], dtype=np.int64)
+        series = np.full(8 * n + 2, 100, dtype=np.int64)
+        series[5 : 5 + 3] = query
+        position, distance = distributed_tss(series, query, pim)
+        assert (position, distance) == (5, 0)
+
+    def test_tie_breaks_to_smallest_position(self, pim):
+        n = pim.num_dpus
+        query = np.array([1, 2], dtype=np.int64)
+        series = np.full(8 * n + 1, 50, dtype=np.int64)
+        # Plant the identical best window in two different shards.
+        series[2:4] = query
+        series[8 * n - 4 : 8 * n - 2] = query
+        position, distance = distributed_tss(series, query, pim)
+        assert (position, distance) == (2, 0)
+
+    def test_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            TsSimilarityWorkload(series_items=4, query_items=8)
+
+    @given(
+        per_dpu=st.integers(min_value=1, max_value=6),
+        query_len=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_brute_force_property(self, per_dpu, query_len, seed):
+        """Distributed minimum equals the brute-force SAD minimum."""
+        backend = registry.create("P", small_test_system())
+        rng = np.random.default_rng(seed)
+        positions = per_dpu * backend.num_dpus
+        series = rng.integers(0, 20, positions + query_len - 1).astype(
+            np.int64
+        )
+        query = rng.integers(0, 20, query_len).astype(np.int64)
+        position, distance = distributed_tss(series, query, backend)
+        sads = [
+            int(np.abs(series[p : p + query_len] - query).sum())
+            for p in range(positions)
+        ]
+        assert distance == min(sads)
+        assert position == sads.index(min(sads))
+
+
+class TestTierDeclarations:
+    def test_prim_workloads_cover_the_tier(self):
+        assert set(prim_workloads()) == {"HST", "SCAN", "SEL", "BS", "TS"}
+
+    def test_traces_match_closed_forms(self, tiny_machine):
+        """Declared trace volume == closed-form expected_comm_volume."""
+        for name, workload in prim_workloads().items():
+            trace = comm_trace(workload, tiny_machine)
+            assert trace, name
+            volume: dict[str, int] = {}
+            for entry in trace:
+                volume[entry.pattern] = (
+                    volume.get(entry.pattern, 0) + entry.total_bytes
+                )
+            assert volume == workload.expected_comm_volume(tiny_machine)
